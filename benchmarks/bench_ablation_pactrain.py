@@ -1,0 +1,84 @@
+"""Ablation — which pieces of PacTrain matter (our addition, not a paper figure).
+
+DESIGN.md calls out three design choices whose contribution is worth isolating:
+
+* **GSE** (Eq. 2): without it, pruned weights regrow and the gradient sparsity
+  pattern never stabilises, so the compressor stays on the full-sync path.
+* **Ternary quantisation** (§III.D): trades a small accuracy/variance cost for
+  ~16x fewer payload bits on the compacted gradient.
+* **Mask-stability threshold**: how many unchanged iterations the Mask Tracker
+  waits before trusting a pattern — lower switches to compact mode sooner but
+  risks resyncs, higher wastes full-precision iterations.
+
+All variants train the ResNet-18 stand-in at 500 Mbps.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import experiment_config, print_table, summarise_for_extra_info, tta_label
+from repro.simulation import MethodSpec, run_experiment
+
+EPOCHS = 6
+
+
+def _variants() -> dict:
+    return {
+        "pactrain (full)": MethodSpec(
+            name="pactrain", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=True
+        ),
+        "no quantisation": MethodSpec(
+            name="pactrain-fp32", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=False
+        ),
+        "no GSE": MethodSpec(
+            name="pactrain-nogse", compressor="pactrain", pruning_ratio=0.5, gse=False, quantize=True
+        ),
+        "no pruning": MethodSpec(
+            name="pactrain-dense", compressor="pactrain", pruning_ratio=0.0, gse=False, quantize=True
+        ),
+        "threshold=1": MethodSpec(
+            name="pactrain-t1", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=True,
+            stability_threshold=1,
+        ),
+        "threshold=8": MethodSpec(
+            name="pactrain-t8", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=True,
+            stability_threshold=8,
+        ),
+        "all-reduce baseline": MethodSpec(name="all-reduce", compressor="allreduce"),
+    }
+
+
+def run_ablation() -> dict:
+    config = experiment_config("resnet18", bandwidth="500Mbps", epochs=EPOCHS)
+    return {label: run_experiment(config, spec) for label, spec in _variants().items()}
+
+
+def bench_ablation_pactrain_components(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    rows = []
+    for label, result in results.items():
+        rows.append(
+            (
+                label,
+                f"{result.final_accuracy:.3f}",
+                tta_label(result),
+                f"{result.comm_time:.3f}",
+                f"{result.comm_bytes_per_worker / 1e6:.2f}",
+                f"{result.extra.get('compact_fraction', 0.0):.2f}",
+            )
+        )
+    print_table(
+        "PacTrain ablation (ResNet-18, 500 Mbps)",
+        ("variant", "final acc", "TTA (s)", "comm (s)", "MB/worker", "compact frac"),
+        rows,
+    )
+    benchmark.extra_info.update(summarise_for_extra_info(results))
+
+    full = results["pactrain (full)"]
+    # GSE is what creates the stable sparse pattern: without it the compact
+    # path is used for (at most) a sliver of iterations.
+    assert full.extra["compact_fraction"] >= results["no GSE"].extra["compact_fraction"]
+    # Quantisation reduces bytes on the wire.
+    assert full.comm_bytes_per_worker <= results["no quantisation"].comm_bytes_per_worker
+    # Every PacTrain variant communicates less than the dense fp32 baseline.
+    assert full.comm_time < results["all-reduce baseline"].comm_time

@@ -1,0 +1,151 @@
+"""Shared configuration and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+(see DESIGN.md, "Experiment index").  The workloads are the CPU-scale stand-ins
+described in DESIGN.md (mini model variants, synthetic CIFAR); the quantities
+reported — relative TTA, accuracy-vs-time traces, accuracy-vs-pruning-ratio,
+wire bytes — are the same ones the paper plots, and EXPERIMENTS.md records the
+paper-vs-measured comparison for each.
+
+The benchmark functions use ``benchmark.pedantic(..., rounds=1)``: a "round" is
+an entire experiment sweep (many training runs), so repeating it for timing
+statistics would add minutes for no insight.  The interesting output is the
+printed table plus the ``extra_info`` attached to the benchmark record.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.simulation import ClusterSpec, ExperimentConfig, ExperimentResult, MethodSpec
+
+#: Every table printed by a benchmark is also appended to this report file so
+#: the figures survive pytest's output capturing; EXPERIMENTS.md points here.
+REPORT_PATH = os.path.join(os.path.dirname(__file__), "results", "benchmark_report.txt")
+
+#: Models evaluated in the paper's figures, in presentation order.
+PAPER_MODELS = ("vgg19", "resnet18", "resnet152", "vit-base-16")
+
+#: Bottleneck bandwidths evaluated in Fig. 3.
+PAPER_BANDWIDTHS = ("100Mbps", "500Mbps", "1Gbps")
+
+#: Target accuracies used for TTA on the synthetic CIFAR-10 stand-in.  The
+#: paper uses per-model targets on real CIFAR (e.g. 84 % for ResNet-152); the
+#: synthetic task saturates at different levels per mini model, so per-model
+#: targets are used here as well — relative TTA is what the figures compare.
+MODEL_TARGET_ACCURACY = {
+    "vgg19": 0.60,
+    "resnet18": 0.80,
+    "resnet152": 0.60,
+    "vit-base-16": 0.55,
+    "mlp": 0.80,
+}
+DEFAULT_TARGET_ACCURACY = 0.6
+
+#: Dataset difficulty used by the benchmarks.  The default synthetic noise
+#: (0.6) is learnable in a couple of epochs; 0.8 stretches convergence over the
+#: whole benchmark run so convergence-speed differences are visible.
+BENCH_NOISE_STD = 0.8
+
+#: Single-worker warm-up steps before pruning.  The paper starts from a
+#: pre-trained model (Fig. 1); this stands in for that checkpoint and is not
+#: charged to the simulated TTA clock.
+BENCH_PRETRAIN_ITERATIONS = 15
+
+
+def experiment_config(
+    model: str,
+    bandwidth: str = "1Gbps",
+    epochs: int = 8,
+    world_size: int = 8,
+    batch_size: int = 16,
+    dataset: str = "cifar10",
+    dataset_samples: int = 256,
+    max_iterations_per_epoch: Optional[int] = 2,
+    target_accuracy: Optional[float] = "per-model",
+    seed: int = 0,
+) -> ExperimentConfig:
+    """Benchmark-scale experiment configuration (CPU-friendly defaults)."""
+    if target_accuracy == "per-model":
+        target_accuracy = MODEL_TARGET_ACCURACY.get(model, DEFAULT_TARGET_ACCURACY)
+    return ExperimentConfig(
+        model=model,
+        dataset=dataset,
+        cluster=ClusterSpec(world_size=world_size, bandwidth=bandwidth),
+        epochs=epochs,
+        batch_size=batch_size,
+        dataset_samples=dataset_samples,
+        max_iterations_per_epoch=max_iterations_per_epoch,
+        target_accuracy=target_accuracy,
+        noise_std=BENCH_NOISE_STD,
+        pretrain_iterations=BENCH_PRETRAIN_ITERATIONS,
+        seed=seed,
+    )
+
+
+def format_row(columns: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(col).ljust(width) for col, width in zip(columns, widths))
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[str]]) -> None:
+    """Print a plain-text table (the benchmark harness's analogue of a figure).
+
+    The table goes to stdout and is appended to ``benchmarks/results/``, so it
+    is preserved even when pytest captures the output of passing tests.
+    """
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        widths = [max(w, len(col)) for w, col in zip(widths, row)]
+    lines = [f"\n=== {title} ===",
+             format_row(header, widths),
+             format_row(["-" * w for w in widths], widths)]
+    lines.extend(format_row(row, widths) for row in rows)
+    text = "\n".join(lines)
+    print(text)
+    os.makedirs(os.path.dirname(REPORT_PATH), exist_ok=True)
+    with open(REPORT_PATH, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def report_line(text: str) -> None:
+    """Print a line and append it to the benchmark report file."""
+    print(text)
+    os.makedirs(os.path.dirname(REPORT_PATH), exist_ok=True)
+    with open(REPORT_PATH, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def tta_label(result: ExperimentResult) -> str:
+    """Human-readable TTA: the simulated seconds, or DNC if the target was missed."""
+    if result.target_accuracy is None:
+        return f"{result.simulated_time:.3f}"
+    if result.tta is None:
+        return "DNC"
+    return f"{result.tta:.3f}"
+
+
+def relative_tta_label(result: ExperimentResult, baseline: ExperimentResult) -> str:
+    """Relative TTA (method / baseline), the y-axis of Fig. 3 — DNC if unreached."""
+    if result.tta is None or baseline.tta is None:
+        return "DNC"
+    return f"{result.tta / baseline.tta:.3f}"
+
+
+def speedup_label(result: ExperimentResult, baseline: ExperimentResult) -> str:
+    if result.tta is None or baseline.tta is None:
+        return "DNC"
+    return f"{baseline.tta / result.tta:.2f}x"
+
+
+def summarise_for_extra_info(results: Dict[str, ExperimentResult]) -> Dict[str, float]:
+    """Flatten a result dict into numbers pytest-benchmark can store as extra_info."""
+    info: Dict[str, float] = {}
+    for key, result in results.items():
+        info[f"{key}/final_accuracy"] = round(result.final_accuracy, 4)
+        info[f"{key}/simulated_time"] = round(result.simulated_time, 4)
+        info[f"{key}/comm_time"] = round(result.comm_time, 4)
+        if result.tta is not None:
+            info[f"{key}/tta"] = round(result.tta, 4)
+    return info

@@ -1,0 +1,48 @@
+"""Pruning-ratio study: accuracy and communication volume versus pruning ratio.
+
+A compact version of the paper's Fig. 6 plus the communication side of the
+story: as the pruning ratio grows, PacTrain's wire volume shrinks linearly
+(communication cost "scales proportionally to the pruning ratio", §IV.C.2)
+while final accuracy stays flat until the ratio becomes extreme.
+
+Run with:  python examples/pruning_study.py
+"""
+
+from __future__ import annotations
+
+from repro.simulation import ClusterSpec, ExperimentConfig, MethodSpec, run_experiment
+
+PRUNING_RATIOS = (0.0, 0.3, 0.5, 0.7, 0.9, 0.99)
+
+
+def main(model: str = "resnet18") -> None:
+    config = ExperimentConfig(
+        model=model,
+        dataset="cifar10",
+        cluster=ClusterSpec(world_size=8, bandwidth="1Gbps"),
+        epochs=5,
+        batch_size=16,
+        dataset_samples=256,
+        max_iterations_per_epoch=4,
+        seed=0,
+    )
+
+    print(f"Workload: {model}, 8 workers, 1 Gbps, 5 epochs\n")
+    print(f"{'pruning ratio':>13} {'final acc':>10} {'weight sparsity':>16} {'MB/worker':>10} {'comm (s)':>9}")
+    for ratio in PRUNING_RATIOS:
+        method = MethodSpec(
+            name=f"pactrain-{ratio:g}",
+            compressor="pactrain",
+            pruning_ratio=ratio,
+            gse=ratio > 0,
+            quantize=False,
+        )
+        result = run_experiment(config, method)
+        print(
+            f"{ratio:>13.2f} {result.final_accuracy:>10.3f} {result.weight_sparsity:>16.3f} "
+            f"{result.comm_bytes_per_worker / 1e6:>10.2f} {result.comm_time:>9.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

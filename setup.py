@@ -1,0 +1,10 @@
+"""Setup shim so that ``pip install -e .`` works without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables the
+legacy editable-install path (``--no-use-pep517`` is not required: pip falls
+back to ``setup.py develop`` when wheel building is unavailable).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,176 @@
+"""Collective communication operations over simulated ranks.
+
+Each collective takes the per-rank numpy buffers (a list indexed by rank),
+computes the mathematically exact result and returns it together with a
+:class:`CollectiveEvent` describing the modeled cost: which algorithm ran, how
+many bytes each worker put on the wire, and how long the operation took under
+the :class:`repro.comm.network.NetworkModel`.
+
+The numerical results are exact (no simulation of per-step partial sums is
+needed for correctness), while the *costs* follow the standard ring-based
+algorithms — this mirrors how NCCL behaves from the training loop's point of
+view: the right answer arrives after a bandwidth/latency dependent delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.network import NetworkModel
+
+
+@dataclass
+class CollectiveEvent:
+    """Record of one collective operation for the timeline and statistics."""
+
+    op: str
+    bytes_per_worker: float
+    time_seconds: float
+    world_size: int
+    payload_elements: int = 0
+    metadata: dict = field(default_factory=dict)
+
+
+def _check_buffers(buffers: Sequence[np.ndarray]) -> None:
+    if len(buffers) == 0:
+        raise ValueError("collective called with no buffers")
+    shape = buffers[0].shape
+    for index, buffer in enumerate(buffers):
+        if buffer.shape != shape:
+            raise ValueError(
+                f"rank {index} buffer shape {buffer.shape} differs from rank 0 shape {shape}"
+            )
+
+
+def ring_all_reduce_time(network: NetworkModel, num_bytes: float) -> float:
+    """Expose the network model's all-reduce cost (used by planners/tests)."""
+    return network.ring_all_reduce_time(num_bytes)
+
+
+def all_gather_time(network: NetworkModel, num_bytes: float) -> float:
+    """Expose the network model's all-gather cost."""
+    return network.all_gather_time(num_bytes)
+
+
+def all_reduce(
+    buffers: Sequence[np.ndarray],
+    network: Optional[NetworkModel] = None,
+    average: bool = True,
+    element_bytes: Optional[int] = None,
+) -> tuple[np.ndarray, CollectiveEvent]:
+    """Sum (or average) identical-shaped buffers across ranks via ring all-reduce.
+
+    Parameters
+    ----------
+    buffers:
+        One array per rank, all the same shape.
+    network:
+        Cost model; if ``None``, time is reported as ``0`` (useful in unit tests).
+    average:
+        Divide by the world size (the DDP convention for gradients).
+    element_bytes:
+        Wire size per element.  Defaults to the buffer's dtype itemsize; pass a
+        smaller value to model quantised payloads (e.g. 2 for fp16) without
+        changing the arithmetic dtype.
+    """
+    _check_buffers(buffers)
+    world_size = len(buffers)
+    result = np.sum(np.stack([np.asarray(b, dtype=np.float64) for b in buffers]), axis=0)
+    if average:
+        result = result / world_size
+
+    itemsize = element_bytes if element_bytes is not None else buffers[0].dtype.itemsize
+    num_bytes = buffers[0].size * itemsize
+    time = network.ring_all_reduce_time(num_bytes) if network is not None else 0.0
+    event = CollectiveEvent(
+        op="all_reduce",
+        bytes_per_worker=2.0 * (world_size - 1) / max(world_size, 1) * num_bytes if world_size > 1 else 0.0,
+        time_seconds=time,
+        world_size=world_size,
+        payload_elements=int(buffers[0].size),
+    )
+    return result, event
+
+
+def all_gather(
+    buffers: Sequence[np.ndarray],
+    network: Optional[NetworkModel] = None,
+    element_bytes: Optional[int] = None,
+) -> tuple[List[np.ndarray], CollectiveEvent]:
+    """Gather every rank's buffer onto every rank.
+
+    Unlike :func:`all_reduce`, buffers may have *different lengths* (as happens
+    with per-rank top-k selections); the cost model charges the maximum
+    per-rank payload, matching the padded all-gather used in practice.
+    """
+    if len(buffers) == 0:
+        raise ValueError("collective called with no buffers")
+    world_size = len(buffers)
+    gathered = [np.array(b, copy=True) for b in buffers]
+
+    itemsize = element_bytes if element_bytes is not None else buffers[0].dtype.itemsize
+    max_elements = max(b.size for b in buffers)
+    num_bytes = max_elements * itemsize
+    time = network.all_gather_time(num_bytes) if network is not None else 0.0
+    event = CollectiveEvent(
+        op="all_gather",
+        bytes_per_worker=(world_size - 1) * num_bytes if world_size > 1 else 0.0,
+        time_seconds=time,
+        world_size=world_size,
+        payload_elements=int(max_elements),
+    )
+    return gathered, event
+
+
+def broadcast(
+    buffer: np.ndarray,
+    world_size: int,
+    network: Optional[NetworkModel] = None,
+    element_bytes: Optional[int] = None,
+) -> tuple[List[np.ndarray], CollectiveEvent]:
+    """Broadcast a root buffer to all ranks (used for initial weight sync)."""
+    if world_size < 1:
+        raise ValueError("world_size must be >= 1")
+    replicas = [np.array(buffer, copy=True) for _ in range(world_size)]
+    itemsize = element_bytes if element_bytes is not None else buffer.dtype.itemsize
+    num_bytes = buffer.size * itemsize
+    time = network.broadcast_time(num_bytes) if network is not None else 0.0
+    event = CollectiveEvent(
+        op="broadcast",
+        bytes_per_worker=num_bytes if world_size > 1 else 0.0,
+        time_seconds=time,
+        world_size=world_size,
+        payload_elements=int(buffer.size),
+    )
+    return replicas, event
+
+
+def reduce_scatter(
+    buffers: Sequence[np.ndarray],
+    network: Optional[NetworkModel] = None,
+    average: bool = False,
+    element_bytes: Optional[int] = None,
+) -> tuple[List[np.ndarray], CollectiveEvent]:
+    """Reduce buffers across ranks and scatter equal chunks back to each rank."""
+    _check_buffers(buffers)
+    world_size = len(buffers)
+    total = np.sum(np.stack([np.asarray(b, dtype=np.float64) for b in buffers]), axis=0)
+    if average:
+        total = total / world_size
+    flat = total.reshape(-1)
+    chunks = np.array_split(flat, world_size)
+
+    itemsize = element_bytes if element_bytes is not None else buffers[0].dtype.itemsize
+    num_bytes = buffers[0].size * itemsize
+    time = network.reduce_scatter_time(num_bytes) if network is not None else 0.0
+    event = CollectiveEvent(
+        op="reduce_scatter",
+        bytes_per_worker=(world_size - 1) / max(world_size, 1) * num_bytes if world_size > 1 else 0.0,
+        time_seconds=time,
+        world_size=world_size,
+        payload_elements=int(buffers[0].size),
+    )
+    return chunks, event

@@ -1,0 +1,102 @@
+"""Simulated process group.
+
+A :class:`ProcessGroup` binds a world size to a network model and keeps a log
+of every collective issued through it.  The DDP simulator and the compressors
+call collectives through the group so that the experiment driver can later ask
+"how many bytes went over the wire?" and "how much simulated time did gradient
+synchronisation take?" — the two quantities behind every figure in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.collectives import (
+    CollectiveEvent,
+    all_gather,
+    all_reduce,
+    broadcast,
+    reduce_scatter,
+)
+from repro.comm.network import NetworkModel
+
+
+class ProcessGroup:
+    """A fixed set of ranks sharing a network model and an event log."""
+
+    def __init__(self, world_size: int, network: Optional[NetworkModel] = None) -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+        self.network = network
+        self.events: List[CollectiveEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # Collectives
+    # ------------------------------------------------------------------ #
+    def all_reduce(
+        self,
+        buffers: Sequence[np.ndarray],
+        average: bool = True,
+        element_bytes: Optional[int] = None,
+    ) -> np.ndarray:
+        self._check_world(buffers)
+        result, event = all_reduce(buffers, self.network, average=average, element_bytes=element_bytes)
+        self.events.append(event)
+        return result
+
+    def all_gather(
+        self,
+        buffers: Sequence[np.ndarray],
+        element_bytes: Optional[int] = None,
+    ) -> List[np.ndarray]:
+        self._check_world(buffers)
+        gathered, event = all_gather(buffers, self.network, element_bytes=element_bytes)
+        self.events.append(event)
+        return gathered
+
+    def broadcast(self, buffer: np.ndarray, element_bytes: Optional[int] = None) -> List[np.ndarray]:
+        replicas, event = broadcast(buffer, self.world_size, self.network, element_bytes=element_bytes)
+        self.events.append(event)
+        return replicas
+
+    def reduce_scatter(
+        self,
+        buffers: Sequence[np.ndarray],
+        average: bool = False,
+        element_bytes: Optional[int] = None,
+    ) -> List[np.ndarray]:
+        self._check_world(buffers)
+        chunks, event = reduce_scatter(buffers, self.network, average=average, element_bytes=element_bytes)
+        self.events.append(event)
+        return chunks
+
+    def _check_world(self, buffers: Sequence) -> None:
+        if len(buffers) != self.world_size:
+            raise ValueError(
+                f"expected one buffer per rank ({self.world_size}), got {len(buffers)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    def reset_log(self) -> None:
+        self.events.clear()
+
+    @property
+    def total_time(self) -> float:
+        """Total modeled communication time across all logged collectives."""
+        return float(sum(event.time_seconds for event in self.events))
+
+    @property
+    def total_bytes_per_worker(self) -> float:
+        """Total bytes each worker put on the wire across all logged collectives."""
+        return float(sum(event.bytes_per_worker for event in self.events))
+
+    def pop_events(self) -> List[CollectiveEvent]:
+        """Return and clear the event log (one DDP iteration's worth)."""
+        events = list(self.events)
+        self.events.clear()
+        return events

@@ -1,0 +1,145 @@
+"""Cluster topology model (Fig. 4 of the paper).
+
+The evaluation testbed attaches eight GPU servers (S1..S8) to virtual switches;
+the two links between the switches are throttled to create the WAN bottleneck.
+:class:`ClusterTopology` captures that structure as a networkx graph whose
+edges carry :class:`repro.comm.network.LinkSpec` annotations, and computes the
+bottleneck bandwidth along the path between any two servers — which is what the
+:class:`repro.comm.network.NetworkModel` needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.comm.network import LinkSpec, NetworkModel, GBPS, MBPS
+
+
+class ClusterTopology:
+    """A graph of servers and switches with per-edge link specifications."""
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_server(self, name: str) -> None:
+        self.graph.add_node(name, kind="server")
+
+    def add_switch(self, name: str) -> None:
+        self.graph.add_node(name, kind="switch")
+
+    def add_link(self, a: str, b: str, link: LinkSpec) -> None:
+        if a not in self.graph or b not in self.graph:
+            raise KeyError(f"both endpoints must exist before linking ({a!r}, {b!r})")
+        self.graph.add_edge(a, b, link=link)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def servers(self) -> List[str]:
+        return sorted(n for n, d in self.graph.nodes(data=True) if d.get("kind") == "server")
+
+    @property
+    def switches(self) -> List[str]:
+        return sorted(n for n, d in self.graph.nodes(data=True) if d.get("kind") == "switch")
+
+    def path(self, src: str, dst: str) -> List[str]:
+        """Shortest path (fewest hops) between two nodes."""
+        return nx.shortest_path(self.graph, src, dst)
+
+    def path_links(self, src: str, dst: str) -> List[LinkSpec]:
+        nodes = self.path(src, dst)
+        return [self.graph.edges[a, b]["link"] for a, b in zip(nodes[:-1], nodes[1:])]
+
+    def bottleneck_link(self, src: str, dst: str) -> LinkSpec:
+        """The slowest link on the path between ``src`` and ``dst``."""
+        links = self.path_links(src, dst)
+        if not links:
+            return LinkSpec(bandwidth=float("inf"), latency=0.0)
+        return min(links, key=lambda link: link.bandwidth)
+
+    def global_bottleneck(self) -> LinkSpec:
+        """The slowest link on any server-to-server path (ring traversal bound)."""
+        servers = self.servers
+        worst: Optional[LinkSpec] = None
+        for i, src in enumerate(servers):
+            for dst in servers[i + 1 :]:
+                candidate = self.bottleneck_link(src, dst)
+                if worst is None or candidate.bandwidth < worst.bandwidth:
+                    worst = candidate
+        if worst is None:
+            raise ValueError("topology has fewer than two servers")
+        return worst
+
+    def to_network_model(self) -> NetworkModel:
+        """Collapse the topology into a :class:`NetworkModel` for collectives."""
+        servers = self.servers
+        bottleneck = self.global_bottleneck()
+        intra_candidates = [
+            self.graph.edges[a, b]["link"]
+            for a, b in self.graph.edges
+            if self.graph.nodes[a].get("kind") == "server" or self.graph.nodes[b].get("kind") == "server"
+        ]
+        intra = max(intra_candidates, key=lambda link: link.bandwidth) if intra_candidates else None
+        return NetworkModel(world_size=len(servers), bottleneck=bottleneck, intra_link=intra)
+
+    def describe(self) -> Dict[str, object]:
+        """Summary dictionary used by examples and logging."""
+        bottleneck = self.global_bottleneck()
+        return {
+            "servers": self.servers,
+            "switches": self.switches,
+            "num_links": self.graph.number_of_edges(),
+            "bottleneck_bandwidth_mbps": bottleneck.bandwidth * 8 / 1e6,
+            "bottleneck_latency_us": bottleneck.latency * 1e6,
+        }
+
+
+def build_paper_topology(
+    wan_bandwidth: float = 1 * GBPS,
+    wan_latency: float = 1e-3,
+    lan_bandwidth: float = 10 * GBPS,
+    lan_latency: float = 20e-6,
+    num_servers: int = 8,
+    num_switches: int = 3,
+) -> ClusterTopology:
+    """Build the Fig. 4 evaluation topology.
+
+    Eight servers are spread round-robin across three vSwitches; the switches
+    are chained with throttled WAN links (the experiment's bottleneck), while
+    server-to-switch links are fast LAN links.
+    """
+    if num_servers < 1 or num_switches < 1:
+        raise ValueError("need at least one server and one switch")
+    topo = ClusterTopology()
+    switches = [f"vswitch{i}" for i in range(num_switches)]
+    for switch in switches:
+        topo.add_switch(switch)
+    for i in range(num_switches - 1):
+        topo.add_link(switches[i], switches[i + 1], LinkSpec(wan_bandwidth, wan_latency))
+
+    lan = LinkSpec(lan_bandwidth, lan_latency)
+    for index in range(num_servers):
+        server = f"S{index + 1}"
+        topo.add_server(server)
+        topo.add_link(server, switches[index % num_switches], lan)
+    return topo
+
+
+def build_star_topology(
+    num_servers: int,
+    link: LinkSpec,
+) -> ClusterTopology:
+    """All servers attached to one switch with identical links (datacenter rack)."""
+    topo = ClusterTopology()
+    topo.add_switch("switch0")
+    for index in range(num_servers):
+        server = f"S{index + 1}"
+        topo.add_server(server)
+        topo.add_link(server, "switch0", link)
+    return topo

@@ -1,0 +1,46 @@
+"""Gradient compressors.
+
+Every compressor implements the :class:`repro.compression.base.Compressor`
+interface: given one gradient bucket (per-rank flat tensors) and a process
+group, produce the aggregated average gradient while issuing the collectives it
+actually needs — all-reduce for all-reduce-compatible schemes, all-gather for
+schemes (TopK, DGC) whose per-rank payloads cannot be summed element-wise.
+The process group charges modeled time and bytes for whichever collective is
+used, which is how Table 1's "compatibility" column turns into Fig. 3's TTA
+differences.
+
+Implemented baselines (paper §IV.C and Table 1):
+
+* :class:`NoCompression`       — native fp32 all-reduce
+* :class:`FP16Compressor`      — half-precision all-reduce
+* :class:`TopKCompressor`      — per-rank top-k selection, all-gather exchange
+* :class:`RandomKCompressor`   — random-k selection, all-gather exchange
+* :class:`TernGradCompressor`  — ternary quantisation (Wen et al., 2017)
+* :class:`DGCCompressor`       — Deep Gradient Compression (Lin et al., 2018)
+
+The PacTrain compressor lives in :mod:`repro.pactrain` and is registered here
+for convenience through :func:`build_compressor`.
+"""
+
+from repro.compression.base import Compressor, CompressionStats
+from repro.compression.none import NoCompression
+from repro.compression.fp16 import FP16Compressor
+from repro.compression.topk import TopKCompressor
+from repro.compression.randomk import RandomKCompressor
+from repro.compression.terngrad import TernGradCompressor
+from repro.compression.dgc import DGCCompressor
+from repro.compression.registry import COMPRESSOR_REGISTRY, build_compressor, register_compressor
+
+__all__ = [
+    "Compressor",
+    "CompressionStats",
+    "NoCompression",
+    "FP16Compressor",
+    "TopKCompressor",
+    "RandomKCompressor",
+    "TernGradCompressor",
+    "DGCCompressor",
+    "COMPRESSOR_REGISTRY",
+    "build_compressor",
+    "register_compressor",
+]

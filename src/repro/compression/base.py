@@ -1,0 +1,105 @@
+"""Compressor interface and shared bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.comm.process_group import ProcessGroup
+from repro.ddp.bucket import GradBucket
+
+FP32_BYTES = 4.0
+FP16_BYTES = 2.0
+INDEX_BYTES = 4.0
+TERNARY_BYTES = 0.25  # 2 bits per element
+
+
+@dataclass
+class CompressionStats:
+    """Per-compressor running statistics (across all buckets and iterations)."""
+
+    iterations: int = 0
+    raw_bytes: float = 0.0
+    wire_bytes: float = 0.0
+    allreduce_calls: int = 0
+    allgather_calls: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw fp32 bytes divided by bytes actually sent (>= 1 means savings)."""
+        if self.wire_bytes == 0:
+            return float("inf") if self.raw_bytes > 0 else 1.0
+        return self.raw_bytes / self.wire_bytes
+
+
+class Compressor:
+    """Base class for gradient compressors.
+
+    Subclasses implement :meth:`aggregate`, which receives the per-rank flat
+    gradients of one bucket and must return the aggregated *average* gradient
+    of the same length, issuing all communication through ``group`` so that the
+    network cost model sees it.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used by the registry and in benchmark tables.
+    allreduce_compatible:
+        Whether aggregation uses the all-reduce primitive (Table 1's
+        "Compatibility" column).  All-gather-based schemes pay the
+        ``(n-1) x payload`` exchange cost instead of ``2 (n-1)/n``.
+    lossless:
+        Whether the aggregated result equals the exact average of the inputs.
+    """
+
+    name: str = "base"
+    allreduce_compatible: bool = True
+    lossless: bool = False
+
+    def __init__(self) -> None:
+        self.stats = CompressionStats()
+
+    # ------------------------------------------------------------------ #
+    # Interface
+    # ------------------------------------------------------------------ #
+    def aggregate(
+        self,
+        bucket: GradBucket,
+        group: ProcessGroup,
+        iteration: int = 0,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear statistics and any per-bucket state (error feedback, masks)."""
+        self.stats = CompressionStats()
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping helpers for subclasses
+    # ------------------------------------------------------------------ #
+    def _record(
+        self,
+        bucket: GradBucket,
+        wire_bytes_per_element: float,
+        payload_elements: Optional[int] = None,
+        used_allgather: bool = False,
+    ) -> None:
+        elements = bucket.numel if payload_elements is None else payload_elements
+        self.stats.iterations += 1
+        self.stats.raw_bytes += bucket.numel * FP32_BYTES
+        self.stats.wire_bytes += elements * wire_bytes_per_element
+        if used_allgather:
+            self.stats.allgather_calls += 1
+        else:
+            self.stats.allreduce_calls += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def exact_average(buffers: List[np.ndarray]) -> np.ndarray:
+    """Reference (lossless) average used by tests and error computations."""
+    return np.mean(np.stack(buffers), axis=0)

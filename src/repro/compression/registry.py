@@ -1,0 +1,66 @@
+"""Compressor registry.
+
+Benchmark configurations refer to compression schemes by the names used in the
+paper's figures ("all-reduce", "fp16", "topk-0.1", "topk-0.01", "pactrain").
+``build_compressor`` resolves those names to fresh compressor instances; the
+PacTrain entry is registered lazily to avoid a circular import with
+:mod:`repro.pactrain`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.compression.base import Compressor
+from repro.compression.dgc import DGCCompressor
+from repro.compression.fp16 import FP16Compressor
+from repro.compression.none import NoCompression
+from repro.compression.randomk import RandomKCompressor
+from repro.compression.terngrad import TernGradCompressor
+from repro.compression.topk import TopKCompressor
+
+CompressorFactory = Callable[..., Compressor]
+
+COMPRESSOR_REGISTRY: Dict[str, CompressorFactory] = {
+    "allreduce": NoCompression,
+    "all-reduce": NoCompression,
+    "fp16": FP16Compressor,
+    "topk-0.1": lambda **kw: TopKCompressor(ratio=0.1, **kw),
+    "topk-0.01": lambda **kw: TopKCompressor(ratio=0.01, **kw),
+    "topk": TopKCompressor,
+    "randomk": RandomKCompressor,
+    "terngrad": TernGradCompressor,
+    "dgc": DGCCompressor,
+    "dgc-0.01": lambda **kw: DGCCompressor(ratio=0.01, **kw),
+}
+
+
+def register_compressor(name: str, factory: CompressorFactory) -> None:
+    """Register a compressor factory under ``name`` (case-insensitive)."""
+    COMPRESSOR_REGISTRY[name.lower()] = factory
+
+
+def build_compressor(name: str, **kwargs) -> Compressor:
+    """Instantiate a compressor by its registry name.
+
+    Raises
+    ------
+    KeyError
+        If the name is unknown.  The PacTrain compressor is imported lazily so
+        that ``build_compressor("pactrain")`` works without importing
+        :mod:`repro.pactrain` up front.
+    """
+    key = name.lower()
+    if key in ("pactrain", "pactrain-terngrad", "pactrain-fp32") and key not in COMPRESSOR_REGISTRY:
+        from repro.pactrain.compressor import PacTrainCompressor  # noqa: PLC0415
+
+        register_compressor("pactrain", lambda **kw: PacTrainCompressor(**kw))
+        register_compressor(
+            "pactrain-terngrad", lambda **kw: PacTrainCompressor(quantize=True, **kw)
+        )
+        register_compressor(
+            "pactrain-fp32", lambda **kw: PacTrainCompressor(quantize=False, **kw)
+        )
+    if key not in COMPRESSOR_REGISTRY:
+        raise KeyError(f"unknown compressor {name!r}; registered: {sorted(COMPRESSOR_REGISTRY)}")
+    return COMPRESSOR_REGISTRY[key](**kwargs)

@@ -1,0 +1,27 @@
+"""Dataset substrate.
+
+The paper trains on CIFAR-10 and CIFAR-100.  Those datasets cannot be
+downloaded in this offline environment, so :mod:`repro.data` provides
+deterministic synthetic class-conditional image datasets with the same
+interface a torchvision dataset would expose (length, indexing, per-class
+labels), plus the ``DataLoader`` / ``DistributedSampler`` machinery that the
+distributed data-parallel simulator uses to shard data across ranks.
+"""
+
+from repro.data.synthetic import (
+    SyntheticImageClassification,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    make_dataset,
+)
+from repro.data.loader import DataLoader, DistributedSampler, train_test_split
+
+__all__ = [
+    "SyntheticImageClassification",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "make_dataset",
+    "DataLoader",
+    "DistributedSampler",
+    "train_test_split",
+]

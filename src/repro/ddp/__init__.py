@@ -1,0 +1,35 @@
+"""Distributed data-parallel training simulator.
+
+This package reproduces the PyTorch DDP abstractions the paper builds on:
+
+* gradients are packed into **buckets** — flat 1-D tensors concatenating
+  per-parameter gradients in reverse registration order, with parameter names
+  erased (:mod:`repro.ddp.bucket`);
+* gradient synchronisation is customisable through a **communication hook**
+  that only ever sees the flat bucket (:mod:`repro.ddp.hooks`);
+* :class:`repro.ddp.DistributedDataParallel` drives per-rank forward/backward
+  passes over sharded data, runs the hook per bucket, and writes the aggregated
+  gradient back into the model, so the optimiser step is identical on every
+  rank (:mod:`repro.ddp.ddp`).
+
+The deliberately restricted hook interface is what makes the paper's Mask
+Tracker necessary: the hook cannot map bucket offsets back to named weights, so
+sparsity structure must be recovered from the flat gradient itself.
+"""
+
+from repro.ddp.bucket import Bucket, BucketSlice, GradBucket, build_buckets
+from repro.ddp.hooks import allreduce_hook, fp16_compress_hook, CompressorHook, HookState
+from repro.ddp.ddp import DistributedDataParallel, StepResult
+
+__all__ = [
+    "Bucket",
+    "BucketSlice",
+    "GradBucket",
+    "build_buckets",
+    "allreduce_hook",
+    "fp16_compress_hook",
+    "CompressorHook",
+    "HookState",
+    "DistributedDataParallel",
+    "StepResult",
+]

@@ -1,0 +1,201 @@
+"""The distributed data-parallel wrapper.
+
+:class:`DistributedDataParallel` simulates synchronous data-parallel training
+of ``world_size`` replicas on a single process:
+
+1. every rank runs a real forward/backward pass on its own mini-batch (the
+   replicas share one set of weights, which is mathematically identical to
+   real DDP because every rank applies the same aggregated gradient);
+2. per-rank gradients are packed into flat buckets (reverse parameter order,
+   names erased — see :mod:`repro.ddp.bucket`);
+3. the registered communication hook aggregates each bucket through the
+   process group, which records modeled time and bytes;
+4. the aggregated gradients are unpacked back into ``param.grad`` so a single
+   optimiser step updates the shared weights.
+
+The result of each step reports the loss, the modeled communication time and
+the bytes each worker placed on the wire — the raw material for every TTA
+figure in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.collectives import CollectiveEvent
+from repro.comm.process_group import ProcessGroup
+from repro.ddp.bucket import Bucket, GradBucket, build_buckets, DEFAULT_BUCKET_CAP_BYTES
+from repro.ddp.hooks import CommHook, HookState, make_hook
+from repro.nn.module import Module
+from repro.tensorlib import Tensor
+
+
+@dataclass
+class StepResult:
+    """Outcome of one synchronous training step."""
+
+    loss: float
+    per_rank_loss: List[float]
+    comm_time: float
+    comm_bytes_per_worker: float
+    events: List[CollectiveEvent] = field(default_factory=list)
+    per_bucket_numel: List[int] = field(default_factory=list)
+
+
+class DistributedDataParallel:
+    """Synchronous data-parallel training of one model across simulated ranks.
+
+    Parameters
+    ----------
+    model:
+        The shared model replica (identical across ranks by construction).
+    world_size:
+        Number of simulated workers.
+    process_group:
+        Communication substrate; defaults to a zero-cost group (unit tests).
+    bucket_cap_bytes:
+        Gradient bucket capacity; PyTorch's 25 MiB default keeps small models
+        in a single bucket, which matches how DDP behaves for them.
+    comm_hook:
+        ``None`` (native all-reduce), a compressor, or a hook callable.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        world_size: int,
+        process_group: Optional[ProcessGroup] = None,
+        bucket_cap_bytes: int = DEFAULT_BUCKET_CAP_BYTES,
+        comm_hook: Optional[object] = None,
+    ) -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.model = model
+        self.world_size = world_size
+        self.process_group = process_group or ProcessGroup(world_size)
+        if self.process_group.world_size != world_size:
+            raise ValueError("process_group world_size does not match DDP world_size")
+        self.buckets: List[Bucket] = build_buckets(model, bucket_cap_bytes)
+        self._hook: CommHook = make_hook(comm_hook)
+        self._hook_state = HookState(process_group=self.process_group)
+        self._param_map = dict(model.named_parameters())
+
+    # ------------------------------------------------------------------ #
+    # Hook management
+    # ------------------------------------------------------------------ #
+    def register_comm_hook(self, hook_or_compressor: object) -> None:
+        """Replace the communication hook (mirrors DDP's ``register_comm_hook``)."""
+        self._hook = make_hook(hook_or_compressor)
+
+    @property
+    def hook_state(self) -> HookState:
+        return self._hook_state
+
+    # ------------------------------------------------------------------ #
+    # Training step
+    # ------------------------------------------------------------------ #
+    def compute_local_gradients(
+        self,
+        batch: Tuple[np.ndarray, np.ndarray],
+        loss_fn: Callable[[Tensor, np.ndarray], Tensor],
+    ) -> Tuple[float, Dict[str, np.ndarray]]:
+        """Run forward/backward for one rank's batch and return its gradients."""
+        images, labels = batch
+        self.model.zero_grad()
+        logits = self.model(Tensor(images))
+        loss = loss_fn(logits, labels)
+        loss.backward()
+        grads = {
+            name: param.grad.copy()
+            for name, param in self._param_map.items()
+            if param.grad is not None
+        }
+        return float(loss.item()), grads
+
+    def train_step(
+        self,
+        per_rank_batches: Sequence[Tuple[np.ndarray, np.ndarray]],
+        loss_fn: Callable[[Tensor, np.ndarray], Tensor],
+    ) -> StepResult:
+        """One synchronous iteration: local backward on every rank, then sync.
+
+        ``per_rank_batches`` must contain exactly ``world_size`` batches (one
+        per rank, typically produced by a :class:`repro.data.DistributedSampler`).
+        """
+        if len(per_rank_batches) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} per-rank batches, got {len(per_rank_batches)}"
+            )
+
+        per_rank_losses: List[float] = []
+        per_rank_grads: List[Dict[str, np.ndarray]] = []
+        for batch in per_rank_batches:
+            loss_value, grads = self.compute_local_gradients(batch, loss_fn)
+            per_rank_losses.append(loss_value)
+            per_rank_grads.append(grads)
+
+        aggregated = self.synchronize_gradients(per_rank_grads)
+        self._write_back(aggregated)
+
+        events = self.process_group.pop_events()
+        comm_time = float(sum(e.time_seconds for e in events))
+        comm_bytes = float(sum(e.bytes_per_worker for e in events))
+        self._hook_state.iteration += 1
+        return StepResult(
+            loss=float(np.mean(per_rank_losses)),
+            per_rank_loss=per_rank_losses,
+            comm_time=comm_time,
+            comm_bytes_per_worker=comm_bytes,
+            events=events,
+            per_bucket_numel=[b.numel for b in self.buckets],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Gradient synchronisation
+    # ------------------------------------------------------------------ #
+    def synchronize_gradients(
+        self,
+        per_rank_grads: Sequence[Dict[str, np.ndarray]],
+    ) -> Dict[str, np.ndarray]:
+        """Bucket per-rank gradients, run the hook per bucket, unpack the result."""
+        if len(per_rank_grads) != self.world_size:
+            raise ValueError("need one gradient dict per rank")
+        aggregated: Dict[str, np.ndarray] = {}
+        last_index = len(self.buckets) - 1
+        for bucket in self.buckets:
+            flats = [bucket.flatten(grads) for grads in per_rank_grads]
+            grad_bucket = GradBucket(bucket, flats, is_last=bucket.index == last_index)
+            reduced = self._hook(self._hook_state, grad_bucket)
+            reduced = np.asarray(reduced, dtype=np.float64).reshape(-1)
+            if reduced.size != bucket.numel:
+                raise ValueError(
+                    f"hook returned {reduced.size} elements for bucket {bucket.index}, "
+                    f"expected {bucket.numel}"
+                )
+            aggregated.update(bucket.unflatten(reduced))
+        return aggregated
+
+    def apply_aggregated_gradients(self, aggregated: Dict[str, np.ndarray]) -> None:
+        """Public entry point for writing externally aggregated gradients back."""
+        self._write_back(aggregated)
+
+    def _write_back(self, aggregated: Dict[str, np.ndarray]) -> None:
+        for name, grad in aggregated.items():
+            param = self._param_map.get(name)
+            if param is None:
+                raise KeyError(f"aggregated gradient for unknown parameter {name!r}")
+            param.grad = np.asarray(grad, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def gradient_numel(self) -> int:
+        """Total number of gradient elements synchronised per iteration."""
+        return sum(bucket.numel for bucket in self.buckets)
+
+    def gradient_nbytes(self) -> int:
+        """Uncompressed fp32 bytes synchronised per iteration."""
+        return sum(bucket.nbytes for bucket in self.buckets)

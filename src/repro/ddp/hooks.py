@@ -1,0 +1,103 @@
+"""Communication hooks.
+
+A communication hook is a callable ``hook(state, grad_bucket) -> np.ndarray``
+that receives a :class:`repro.ddp.bucket.GradBucket` (the flat per-rank
+gradients of one bucket) and returns the aggregated, *averaged* flat gradient
+that every rank should apply.  This mirrors
+``torch.distributed.algorithms.ddp_comm_hooks``: the default hook is a plain
+all-reduce, an fp16 hook halves the wire size, and arbitrary compressors are
+plugged in through :class:`CompressorHook`.
+
+All communication must go through ``state.process_group`` so that the modeled
+time and byte counts are recorded for the experiment timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.comm.process_group import ProcessGroup
+from repro.ddp.bucket import GradBucket
+
+#: Wire sizes used by the cost model.
+FP32_BYTES = 4
+FP16_BYTES = 2
+
+CommHook = Callable[["HookState", GradBucket], np.ndarray]
+
+
+@dataclass
+class HookState:
+    """State shared across hook invocations.
+
+    Attributes
+    ----------
+    process_group:
+        The simulated process group all communication must be issued through.
+    iteration:
+        Training iteration counter, incremented by the DDP wrapper once per
+        step (useful for warm-up logic in adaptive hooks).
+    extra:
+        Free-form per-hook storage (e.g. error-feedback buffers keyed by
+        bucket index).
+    """
+
+    process_group: ProcessGroup
+    iteration: int = 0
+    extra: Dict = field(default_factory=dict)
+
+
+def allreduce_hook(state: HookState, bucket: GradBucket) -> np.ndarray:
+    """Native fp32 ring all-reduce — the paper's "all-reduce" baseline."""
+    return state.process_group.all_reduce(bucket.buffers, average=True, element_bytes=FP32_BYTES)
+
+
+def fp16_compress_hook(state: HookState, bucket: GradBucket) -> np.ndarray:
+    """Half-precision all-reduce — the paper's "fp16" baseline.
+
+    Values are cast to fp16 before aggregation (introducing the corresponding
+    rounding error) and the cost model charges two bytes per element.
+    """
+    halved = [buf.astype(np.float16).astype(np.float64) for buf in bucket.buffers]
+    return state.process_group.all_reduce(halved, average=True, element_bytes=FP16_BYTES)
+
+
+class CompressorHook:
+    """Adapt a :class:`repro.compression.Compressor` into a communication hook.
+
+    The compressor receives the raw per-rank flat gradients and the process
+    group and must return the aggregated average gradient.  Per-bucket
+    compressor state (error feedback, masks, momentum) is the compressor's own
+    responsibility; the hook only namespaces it by bucket index.
+    """
+
+    def __init__(self, compressor) -> None:
+        self.compressor = compressor
+
+    def __call__(self, state: HookState, bucket: GradBucket) -> np.ndarray:
+        return self.compressor.aggregate(bucket, state.process_group, iteration=state.iteration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CompressorHook({self.compressor!r})"
+
+
+def make_hook(compressor_or_hook: Optional[object]) -> CommHook:
+    """Normalise user input into a communication hook.
+
+    ``None`` maps to the default all-reduce hook; compressor objects (anything
+    with an ``aggregate`` method) are wrapped in :class:`CompressorHook`;
+    callables are used as-is.
+    """
+    if compressor_or_hook is None:
+        return allreduce_hook
+    if hasattr(compressor_or_hook, "aggregate"):
+        return CompressorHook(compressor_or_hook)
+    if callable(compressor_or_hook):
+        return compressor_or_hook  # type: ignore[return-value]
+    raise TypeError(
+        "expected None, a Compressor (with .aggregate) or a hook callable, "
+        f"got {type(compressor_or_hook).__name__}"
+    )

@@ -1,0 +1,41 @@
+"""Normalised mean squared error (NMSE) of compressed gradients.
+
+The paper (§III.D) argues that determining the pruning mask by weight ranking
+reduces the compression scheme's sensitivity to NMSE,
+``NMSE(x, x_hat) = ||x - x_hat||^2 / ||x||^2``.  These helpers quantify the
+aggregation error each compressor introduces relative to the exact average —
+used by unit tests (PacTrain without quantisation must be exact on masked
+gradients) and by the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def nmse(reference: np.ndarray, approximation: np.ndarray) -> float:
+    """``||x - x_hat||^2 / ||x||^2`` (0 for a perfect reconstruction)."""
+    reference = np.asarray(reference, dtype=np.float64).reshape(-1)
+    approximation = np.asarray(approximation, dtype=np.float64).reshape(-1)
+    if reference.shape != approximation.shape:
+        raise ValueError("reference and approximation must have the same number of elements")
+    denom = float(np.sum(reference ** 2))
+    if denom == 0.0:
+        return 0.0 if float(np.sum(approximation ** 2)) == 0.0 else float("inf")
+    return float(np.sum((reference - approximation) ** 2)) / denom
+
+
+def compression_error_report(
+    per_rank_gradients: Sequence[np.ndarray],
+    aggregated: np.ndarray,
+) -> Dict[str, float]:
+    """NMSE and cosine similarity of an aggregated gradient vs the exact average."""
+    exact = np.mean(np.stack([np.asarray(g, dtype=np.float64) for g in per_rank_gradients]), axis=0)
+    error = nmse(exact, aggregated)
+    exact_flat = exact.reshape(-1)
+    approx_flat = np.asarray(aggregated, dtype=np.float64).reshape(-1)
+    denom = np.linalg.norm(exact_flat) * np.linalg.norm(approx_flat)
+    cosine = float(np.dot(exact_flat, approx_flat) / denom) if denom > 0 else 1.0
+    return {"nmse": error, "cosine_similarity": cosine}

@@ -1,0 +1,45 @@
+"""Communication-volume and throughput accounting helpers."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.compression.base import Compressor
+
+
+def bytes_saved(compressor: Compressor) -> float:
+    """Raw bytes minus wire bytes accumulated by a compressor."""
+    return max(0.0, compressor.stats.raw_bytes - compressor.stats.wire_bytes)
+
+
+def compression_summary(compressor: Compressor) -> Dict[str, float]:
+    """Single-compressor accounting summary used by benchmark tables."""
+    stats = compressor.stats
+    return {
+        "iterations": float(stats.iterations),
+        "raw_bytes": stats.raw_bytes,
+        "wire_bytes": stats.wire_bytes,
+        "compression_ratio": stats.compression_ratio,
+        "allreduce_calls": float(stats.allreduce_calls),
+        "allgather_calls": float(stats.allgather_calls),
+        "allreduce_compatible": 1.0 if compressor.allreduce_compatible else 0.0,
+    }
+
+
+def effective_throughput(samples: int, simulated_seconds: float) -> float:
+    """Training throughput in samples per simulated second."""
+    if simulated_seconds <= 0:
+        raise ValueError("simulated_seconds must be positive")
+    return samples / simulated_seconds
+
+
+def iteration_breakdown(compute_time: float, comm_time: float) -> Dict[str, float]:
+    """Fraction of iteration time spent computing vs communicating."""
+    total = compute_time + comm_time
+    if total <= 0:
+        return {"compute_fraction": 0.0, "comm_fraction": 0.0, "total": 0.0}
+    return {
+        "compute_fraction": compute_time / total,
+        "comm_fraction": comm_time / total,
+        "total": total,
+    }

@@ -1,0 +1,68 @@
+"""Time-To-Accuracy (TTA) metrics.
+
+The paper's central metric: the simulated wall-clock time needed to reach a
+target test accuracy.  :func:`relative_tta` and :func:`speedup_table` produce
+the normalised numbers shown in Fig. 3 (relative TTA on a log scale, all
+methods normalised to the native all-reduce baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class AccuracyTrace:
+    """A monotone-time sequence of (time, accuracy) observations."""
+
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, time: float, accuracy: float) -> None:
+        if self.points and time < self.points[-1][0]:
+            raise ValueError("accuracy trace times must be non-decreasing")
+        self.points.append((float(time), float(accuracy)))
+
+    def time_to_accuracy(self, target: float) -> Optional[float]:
+        return time_to_accuracy(self.points, target)
+
+    def final_accuracy(self) -> float:
+        return self.points[-1][1] if self.points else 0.0
+
+    def best_accuracy(self) -> float:
+        return max((acc for _, acc in self.points), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def time_to_accuracy(points: Sequence[Tuple[float, float]], target: float) -> Optional[float]:
+    """Earliest time at which accuracy reaches ``target`` (None if never)."""
+    for time, accuracy in points:
+        if accuracy >= target:
+            return time
+    return None
+
+
+def relative_tta(
+    method_tta: float,
+    baseline_tta: float,
+) -> float:
+    """Method TTA divided by baseline TTA (``< 1`` means the method is faster)."""
+    if baseline_tta <= 0:
+        raise ValueError("baseline TTA must be positive")
+    return method_tta / baseline_tta
+
+
+def speedup_table(
+    ttas: Dict[str, float],
+    baseline: str = "all-reduce",
+) -> Dict[str, float]:
+    """Speedup of every method over the baseline (``> 1`` means faster).
+
+    This is the number quoted in the paper's abstract ("1.25 to 8.72x").
+    """
+    if baseline not in ttas:
+        raise KeyError(f"baseline {baseline!r} missing from TTA table {sorted(ttas)}")
+    base = ttas[baseline]
+    return {name: base / value if value > 0 else float("inf") for name, value in ttas.items()}

@@ -1,0 +1,22 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensorlib import Tensor, functional as F
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy between raw logits and integer class labels."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets)
+
+
+class MSELoss(Module):
+    """Mean squared error against a constant target array."""
+
+    def forward(self, prediction: Tensor, target: np.ndarray) -> Tensor:
+        return F.mse_loss(prediction, target)

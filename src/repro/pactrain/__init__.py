@@ -1,0 +1,33 @@
+"""PacTrain: pruning-aware adaptive sparse gradient compression.
+
+This package implements the paper's primary contribution on top of the
+substrates in :mod:`repro.nn`, :mod:`repro.ddp`, :mod:`repro.comm`,
+:mod:`repro.compression` and :mod:`repro.pruning`:
+
+* :class:`MaskTracker` — recovers and monitors the sparsity pattern of the
+  *flattened* DDP gradient buckets (whose parameter names have been erased),
+  and declares the pattern stable once it has not changed for a configurable
+  number of iterations;
+* :class:`PacTrainCompressor` — the adaptive compression scheme of
+  Algorithm 1: while the mask is unstable, gradients are synchronised with a
+  full fp32 all-reduce; once stable, only the non-masked coordinates are packed
+  into a short dense tensor and all-reduced (optionally ternary-quantised),
+  which is lossless with respect to the masked gradient and stays all-reduce
+  compatible;
+* :class:`PacTrainConfig` / :class:`PacTrainTrainer` — the worker algorithm
+  (prune → GSE every iteration → mask tracking → adaptive synchronisation)
+  packaged as a ready-to-run trainer.
+"""
+
+from repro.pactrain.mask_tracker import MaskTracker, MaskState
+from repro.pactrain.compressor import PacTrainCompressor
+from repro.pactrain.config import PacTrainConfig
+from repro.pactrain.trainer import PacTrainTrainer
+
+__all__ = [
+    "MaskTracker",
+    "MaskState",
+    "PacTrainCompressor",
+    "PacTrainConfig",
+    "PacTrainTrainer",
+]

@@ -1,0 +1,50 @@
+"""End-to-end training-time simulation.
+
+The paper's headline metric is Time-To-Accuracy (TTA) measured on a physical
+testbed.  Here, wall-clock time is replaced by a modeled timeline:
+
+    iteration time = compute time (FLOPs / device throughput)
+                   + communication time (collective cost model)
+
+Accuracy, on the other hand, is *real*: models are actually trained on
+per-rank data shards, so convergence differences between compression schemes
+(the other half of TTA) emerge from the optimisation itself rather than being
+assumed.
+
+Modules:
+
+* :mod:`repro.simulation.compute`  — analytic FLOP estimates and device specs;
+* :mod:`repro.simulation.cluster`  — cluster description (workers, device, network);
+* :mod:`repro.simulation.timeline` — accumulation of compute/communication time;
+* :mod:`repro.simulation.experiment` — configuration-driven experiment driver
+  used by every benchmark.
+"""
+
+from repro.simulation.compute import DeviceSpec, ComputeModel, estimate_model_flops
+from repro.simulation.cluster import ClusterSpec
+from repro.simulation.timeline import TrainingTimeline, EpochRecord
+from repro.simulation.experiment import (
+    MethodSpec,
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+    train_distributed,
+    evaluate_accuracy,
+    PAPER_METHODS,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "ComputeModel",
+    "estimate_model_flops",
+    "ClusterSpec",
+    "TrainingTimeline",
+    "EpochRecord",
+    "MethodSpec",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "train_distributed",
+    "evaluate_accuracy",
+    "PAPER_METHODS",
+]

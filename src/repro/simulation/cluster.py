@@ -1,0 +1,89 @@
+"""Cluster specification.
+
+A :class:`ClusterSpec` bundles everything the experiment driver needs to know
+about "where" training runs: how many workers, what device they compute on and
+what network connects them.  The default reproduces the paper's testbed —
+eight workers behind the Fig. 4 topology with a configurable WAN bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.comm.network import NetworkModel, PAPER_BANDWIDTHS, LinkSpec
+from repro.comm.process_group import ProcessGroup
+from repro.comm.topology import ClusterTopology, build_paper_topology
+from repro.simulation.compute import ComputeModel, DeviceSpec
+
+
+@dataclass
+class ClusterSpec:
+    """Description of the simulated training cluster.
+
+    Attributes
+    ----------
+    world_size:
+        Number of training workers (the paper uses 8).
+    bandwidth:
+        Bottleneck bandwidth: either one of the paper's named settings
+        (``"100Mbps"``, ``"500Mbps"``, ``"1Gbps"``) or a float in bytes/second.
+    device:
+        Device preset name or :class:`DeviceSpec` for the compute model.
+    latency:
+        Per-message latency of the bottleneck link, in seconds.
+    """
+
+    world_size: int = 8
+    bandwidth: Union[str, float] = "1Gbps"
+    device: Union[str, DeviceSpec] = "sim-gpu"
+    #: Per-message latency of the bottleneck link.  The default (100 us) keeps
+    #: the mini models in the same bandwidth-bound regime as the paper's
+    #: full-size models; see DESIGN.md (Substitutions).
+    latency: float = 1e-4
+    sparse_compute_speedup: bool = False
+
+    def __post_init__(self) -> None:
+        if self.world_size < 1:
+            raise ValueError("world_size must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    def bandwidth_bytes_per_second(self) -> float:
+        if isinstance(self.bandwidth, str):
+            if self.bandwidth not in PAPER_BANDWIDTHS:
+                raise KeyError(
+                    f"unknown bandwidth setting {self.bandwidth!r}; options: {sorted(PAPER_BANDWIDTHS)}"
+                )
+            return PAPER_BANDWIDTHS[self.bandwidth]
+        return float(self.bandwidth)
+
+    def network_model(self) -> NetworkModel:
+        """Alpha-beta model of the bottleneck implied by this cluster."""
+        return NetworkModel.from_bandwidth(
+            self.world_size, self.bandwidth_bytes_per_second(), latency=self.latency
+        )
+
+    def topology(self) -> ClusterTopology:
+        """Fig. 4 topology with the requested bottleneck bandwidth."""
+        return build_paper_topology(
+            wan_bandwidth=self.bandwidth_bytes_per_second(),
+            wan_latency=self.latency,
+            num_servers=self.world_size,
+        )
+
+    def process_group(self) -> ProcessGroup:
+        """Process group whose collectives are costed by this cluster's network."""
+        return ProcessGroup(self.world_size, self.network_model())
+
+    def compute_model(self) -> ComputeModel:
+        return ComputeModel(self.device, sparse_speedup=self.sparse_compute_speedup)
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        bandwidth = self.bandwidth_bytes_per_second()
+        return {
+            "world_size": self.world_size,
+            "bandwidth_mbps": bandwidth * 8 / 1e6,
+            "latency_ms": self.latency * 1e3,
+            "device": self.device if isinstance(self.device, str) else self.device.name,
+        }

@@ -1,0 +1,403 @@
+"""Configuration-driven experiment driver.
+
+Every benchmark in this repository is a thin wrapper around
+:func:`run_experiment`: it builds the dataset, model, cluster and compression
+method described by an :class:`ExperimentConfig` / :class:`MethodSpec` pair,
+runs real distributed (simulated-time) training and returns an
+:class:`ExperimentResult` containing the accuracy-versus-time trace, the TTA
+and the communication accounting — the quantities plotted in Figs. 3, 5 and 6
+and tabulated in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compression.base import Compressor
+from repro.compression.registry import build_compressor
+from repro.data import DataLoader, DistributedSampler, make_dataset, train_test_split
+from repro.ddp import DistributedDataParallel
+from repro.nn import SGD
+from repro.nn.models import build_model
+from repro.nn.module import Module
+from repro.pruning import PruningMask, apply_gse, grasp_prune, magnitude_prune
+from repro.simulation.cluster import ClusterSpec
+from repro.simulation.timeline import TrainingTimeline
+from repro.tensorlib import Tensor, functional as F, no_grad
+
+
+# --------------------------------------------------------------------------- #
+# Method and experiment descriptions
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MethodSpec:
+    """One gradient-synchronisation method, as named in the paper's figures.
+
+    ``compressor`` is a registry name (see :mod:`repro.compression.registry`).
+    Pruning-related fields only take effect for methods that prune (PacTrain);
+    the baselines keep the dense model.
+    """
+
+    name: str
+    compressor: str = "allreduce"
+    pruning_ratio: float = 0.0
+    pruning_method: str = "magnitude"
+    gse: bool = False
+    quantize: bool = False
+    stability_threshold: int = 3
+    min_sparsity: float = 0.05
+    warmup_iterations: int = 0
+
+    def build_compressor(self, seed: int = 0) -> Compressor:
+        if self.compressor.startswith("pactrain"):
+            # Imported lazily: repro.pactrain.trainer itself builds on this module.
+            from repro.pactrain.compressor import PacTrainCompressor  # noqa: PLC0415
+
+            return PacTrainCompressor(
+                stability_threshold=self.stability_threshold,
+                min_sparsity=self.min_sparsity,
+                quantize=self.quantize,
+                seed=seed,
+                warmup_iterations=self.warmup_iterations,
+            )
+        return build_compressor(self.compressor)
+
+
+#: The five methods compared throughout the paper's evaluation (Figs. 3 and 5).
+#: PacTrain uses the paper's default configuration: pruning ratio 0.5, GSE every
+#: iteration and ternary quantisation of the compacted gradients (§III.D).
+PAPER_METHODS: Dict[str, MethodSpec] = {
+    "all-reduce": MethodSpec(name="all-reduce", compressor="allreduce"),
+    "fp16": MethodSpec(name="fp16", compressor="fp16"),
+    "topk-0.1": MethodSpec(name="topk-0.1", compressor="topk-0.1"),
+    "topk-0.01": MethodSpec(name="topk-0.01", compressor="topk-0.01"),
+    "pactrain": MethodSpec(
+        name="pactrain", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=True
+    ),
+}
+
+#: PacTrain without ternary quantisation (lossless w.r.t. the masked gradient);
+#: used by the ablation benchmark.
+PACTRAIN_FP32 = MethodSpec(
+    name="pactrain-fp32", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=False
+)
+
+
+@dataclass
+class ExperimentConfig:
+    """Workload + cluster + optimisation settings for one training run."""
+
+    model: str = "resnet18"
+    dataset: str = "cifar10"
+    num_classes: int = 10
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    target_accuracy: Optional[float] = None
+    dataset_samples: int = 512
+    image_size: int = 8
+    #: Per-sample noise of the synthetic dataset.  Larger values make the task
+    #: harder, so convergence takes more epochs and the convergence-speed
+    #: differences between compression schemes become visible.
+    noise_std: float = 0.6
+    test_fraction: float = 0.25
+    pretrain_iterations: int = 3
+    max_iterations_per_epoch: Optional[int] = None
+    seed: int = 0
+    stop_at_target: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a benchmark needs to report about one training run."""
+
+    method: str
+    model: str
+    dataset: str
+    bandwidth_mbps: float
+    world_size: int
+    epochs_run: int
+    iterations_run: int
+    simulated_time: float
+    compute_time: float
+    comm_time: float
+    comm_bytes_per_worker: float
+    final_accuracy: float
+    best_accuracy: float
+    tta: Optional[float]
+    target_accuracy: Optional[float]
+    accuracy_trace: List[Tuple[float, float]]
+    loss_trace: List[float]
+    compression_ratio: float
+    weight_sparsity: float
+    gradient_density: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def tta_or_total(self) -> float:
+        """TTA if the target was reached, otherwise total simulated time.
+
+        The paper reports relative TTA; runs that never reach the target are
+        charged their full training time (a conservative lower bound on their
+        disadvantage).
+        """
+        return self.tta if self.tta is not None else self.simulated_time
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+def evaluate_accuracy(model: Module, loader: DataLoader) -> float:
+    """Top-1 accuracy of ``model`` over a data loader (evaluation mode)."""
+    model.eval()
+    correct = 0
+    total = 0
+    with no_grad():
+        for images, labels in loader:
+            logits = model(Tensor(images))
+            predictions = logits.data.argmax(axis=-1)
+            correct += int((predictions == labels).sum())
+            total += len(labels)
+    model.train()
+    return correct / total if total else 0.0
+
+
+def _pretrain(model: Module, loader: DataLoader, iterations: int, lr: float) -> None:
+    """Brief single-worker warm-up so magnitude/GraSP scores are informative.
+
+    Mirrors the paper's setup of starting from a (pre-)trained model before
+    pruning (Fig. 1): a handful of SGD steps on the generic data is enough to
+    differentiate weight magnitudes for the mini models.
+    """
+    if iterations <= 0:
+        return
+    optimizer = SGD(model.parameters(), lr=lr)
+    done = 0
+    while done < iterations:
+        for images, labels in loader:
+            model.zero_grad()
+            loss = F.cross_entropy(model(Tensor(images)), labels)
+            loss.backward()
+            optimizer.step()
+            done += 1
+            if done >= iterations:
+                break
+
+
+def _prune_model(
+    model: Module,
+    method: MethodSpec,
+    sample_batch: Tuple[np.ndarray, np.ndarray],
+) -> Optional[PruningMask]:
+    """Apply the method's pruning step and return the mask (None if dense)."""
+    if method.pruning_ratio <= 0.0:
+        return None
+    if method.pruning_method == "grasp":
+        return grasp_prune(model, sample_batch, F.cross_entropy, method.pruning_ratio)
+    return magnitude_prune(model, method.pruning_ratio)
+
+
+def _weight_sparsity(model: Module) -> float:
+    total = sum(p.size for p in model.parameters())
+    zeros = sum(int(np.sum(p.data == 0.0)) for p in model.parameters())
+    return zeros / total if total else 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Core training loop
+# --------------------------------------------------------------------------- #
+def train_distributed(
+    model: Module,
+    train_dataset,
+    test_loader: DataLoader,
+    method: MethodSpec,
+    cluster: ClusterSpec,
+    epochs: int,
+    batch_size: int,
+    lr: float,
+    momentum: float = 0.9,
+    weight_decay: float = 0.0,
+    mask: Optional[PruningMask] = None,
+    target_accuracy: Optional[float] = None,
+    stop_at_target: bool = False,
+    max_iterations_per_epoch: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[TrainingTimeline, DistributedDataParallel, Compressor]:
+    """Run synchronous data-parallel training with modeled time.
+
+    Returns the timeline (accuracy/time trace), the DDP wrapper and the
+    compressor (whose statistics record bytes on the wire).
+    """
+    world_size = cluster.world_size
+    process_group = cluster.process_group()
+    compressor = method.build_compressor(seed=seed)
+    ddp = DistributedDataParallel(
+        model, world_size=world_size, process_group=process_group, comm_hook=compressor
+    )
+    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
+    compute_model = cluster.compute_model()
+    timeline = TrainingTimeline()
+
+    input_shape = train_dataset.input_shape
+    weight_sparsity = _weight_sparsity(model)
+    compute_seconds = compute_model.iteration_time(
+        model, input_shape, batch_size, weight_sparsity=weight_sparsity
+    )
+
+    # One loader per rank over disjoint shards.
+    rank_loaders = [
+        DataLoader(
+            train_dataset,
+            batch_size=batch_size,
+            sampler=DistributedSampler(len(train_dataset), world_size, rank, seed=seed),
+        )
+        for rank in range(world_size)
+    ]
+
+    reached_target = False
+    for epoch in range(epochs):
+        for loader in rank_loaders:
+            loader.set_epoch(epoch)
+        iterators = [iter(loader) for loader in rank_loaders]
+        epoch_losses: List[float] = []
+        iteration = 0
+        while True:
+            if max_iterations_per_epoch is not None and iteration >= max_iterations_per_epoch:
+                break
+            try:
+                batches = [next(it) for it in iterators]
+            except StopIteration:
+                break
+
+            per_rank_losses = []
+            per_rank_grads = []
+            for batch in batches:
+                loss_value, grads = ddp.compute_local_gradients(batch, F.cross_entropy)
+                if method.gse and mask is not None:
+                    grads = apply_gse(model, mask, grads=grads)
+                per_rank_losses.append(loss_value)
+                per_rank_grads.append(grads)
+
+            aggregated = ddp.synchronize_gradients(per_rank_grads)
+            ddp.apply_aggregated_gradients(aggregated)
+            optimizer.step()
+            if mask is not None:
+                # Guard against regrowth through momentum / weight decay.
+                mask.apply_to_weights(model)
+
+            events = process_group.pop_events()
+            comm_seconds = float(sum(e.time_seconds for e in events))
+            comm_bytes = float(sum(e.bytes_per_worker for e in events))
+            timeline.add_iteration(compute_seconds, comm_seconds, comm_bytes)
+            ddp.hook_state.iteration += 1
+            epoch_losses.append(float(np.mean(per_rank_losses)))
+            iteration += 1
+
+        accuracy = evaluate_accuracy(model, test_loader)
+        mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+        timeline.snapshot_epoch(epoch, mean_loss, accuracy)
+
+        if target_accuracy is not None and accuracy >= target_accuracy:
+            reached_target = True
+            if stop_at_target:
+                break
+    _ = reached_target
+    return timeline, ddp, compressor
+
+
+# --------------------------------------------------------------------------- #
+# Config-driven wrapper
+# --------------------------------------------------------------------------- #
+def run_experiment(config: ExperimentConfig, method: MethodSpec) -> ExperimentResult:
+    """Build the workload described by ``config``, train it with ``method``."""
+    dataset = make_dataset(
+        config.dataset,
+        num_samples=config.dataset_samples,
+        image_size=config.image_size,
+        noise_std=config.noise_std,
+        seed=config.seed,
+    )
+    train_set, test_set = train_test_split(dataset, test_fraction=config.test_fraction, seed=config.seed)
+    test_loader = DataLoader(test_set, batch_size=config.batch_size)
+
+    model = build_model(config.model, num_classes=dataset.num_classes, seed=config.seed)
+
+    # Pre-train briefly (stand-in for "start from a pre-trained model"), then prune.
+    pretrain_loader = DataLoader(train_set, batch_size=config.batch_size, shuffle=True, seed=config.seed)
+    _pretrain(model, pretrain_loader, config.pretrain_iterations, config.lr)
+    sample_batch = next(iter(pretrain_loader))
+    mask = _prune_model(model, method, sample_batch)
+
+    timeline, ddp, compressor = train_distributed(
+        model=model,
+        train_dataset=train_set,
+        test_loader=test_loader,
+        method=method,
+        cluster=config.cluster,
+        epochs=config.epochs,
+        batch_size=config.batch_size,
+        lr=config.lr,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+        mask=mask,
+        target_accuracy=config.target_accuracy,
+        stop_at_target=config.stop_at_target,
+        max_iterations_per_epoch=config.max_iterations_per_epoch,
+        seed=config.seed,
+    )
+
+    gradient_density = 1.0
+    if mask is not None:
+        gradient_density = mask.density
+
+    from repro.pactrain.compressor import PacTrainCompressor  # noqa: PLC0415
+
+    extra: Dict[str, float] = {}
+    if isinstance(compressor, PacTrainCompressor):
+        extra["compact_fraction"] = compressor.compact_fraction
+        extra["full_iterations"] = float(compressor.full_iterations)
+        extra["compact_iterations"] = float(compressor.compact_iterations)
+
+    return ExperimentResult(
+        method=method.name,
+        model=config.model,
+        dataset=config.dataset,
+        bandwidth_mbps=config.cluster.bandwidth_bytes_per_second() * 8 / 1e6,
+        world_size=config.cluster.world_size,
+        epochs_run=len(timeline.epochs),
+        iterations_run=timeline.iterations,
+        simulated_time=timeline.total_time,
+        compute_time=timeline.compute_time,
+        comm_time=timeline.comm_time,
+        comm_bytes_per_worker=timeline.comm_bytes_per_worker,
+        final_accuracy=timeline.final_accuracy(),
+        best_accuracy=timeline.best_accuracy(),
+        tta=timeline.time_to_accuracy(config.target_accuracy) if config.target_accuracy else None,
+        target_accuracy=config.target_accuracy,
+        accuracy_trace=timeline.accuracy_trace(),
+        loss_trace=[record.train_loss for record in timeline.epochs],
+        compression_ratio=compressor.stats.compression_ratio,
+        weight_sparsity=_weight_sparsity(model),
+        gradient_density=gradient_density,
+        extra=extra,
+    )
+
+
+def run_method_comparison(
+    config: ExperimentConfig,
+    methods: Optional[Sequence[MethodSpec]] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run the same workload under several methods (defaults to the paper's five)."""
+    methods = list(methods) if methods is not None else list(PAPER_METHODS.values())
+    return {method.name: run_experiment(config, method) for method in methods}

@@ -1,0 +1,79 @@
+"""Training timeline: accumulation of modeled compute and communication time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class EpochRecord:
+    """Snapshot taken at the end of one training epoch."""
+
+    epoch: int
+    simulated_time: float
+    train_loss: float
+    test_accuracy: float
+    comm_time: float
+    compute_time: float
+    comm_bytes_per_worker: float
+
+
+class TrainingTimeline:
+    """Accumulates modeled time and per-epoch snapshots for one training run.
+
+    Compute on the simulated ranks happens in parallel, so one iteration adds
+    a *single* compute-time term (all ranks take the same modeled time) plus
+    the communication time of that iteration's collectives.
+    """
+
+    def __init__(self) -> None:
+        self.compute_time = 0.0
+        self.comm_time = 0.0
+        self.comm_bytes_per_worker = 0.0
+        self.iterations = 0
+        self.epochs: List[EpochRecord] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_time(self) -> float:
+        return self.compute_time + self.comm_time
+
+    def add_iteration(self, compute_seconds: float, comm_seconds: float, comm_bytes: float = 0.0) -> None:
+        if compute_seconds < 0 or comm_seconds < 0:
+            raise ValueError("iteration times must be non-negative")
+        self.compute_time += compute_seconds
+        self.comm_time += comm_seconds
+        self.comm_bytes_per_worker += comm_bytes
+        self.iterations += 1
+
+    def snapshot_epoch(self, epoch: int, train_loss: float, test_accuracy: float) -> EpochRecord:
+        record = EpochRecord(
+            epoch=epoch,
+            simulated_time=self.total_time,
+            train_loss=train_loss,
+            test_accuracy=test_accuracy,
+            comm_time=self.comm_time,
+            compute_time=self.compute_time,
+            comm_bytes_per_worker=self.comm_bytes_per_worker,
+        )
+        self.epochs.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    def accuracy_trace(self) -> List[tuple]:
+        """(simulated_time, test_accuracy) pairs, one per recorded epoch."""
+        return [(record.simulated_time, record.test_accuracy) for record in self.epochs]
+
+    def time_to_accuracy(self, target_accuracy: float) -> Optional[float]:
+        """Earliest simulated time at which the target accuracy was reached."""
+        for record in self.epochs:
+            if record.test_accuracy >= target_accuracy:
+                return record.simulated_time
+        return None
+
+    def best_accuracy(self) -> float:
+        return max((record.test_accuracy for record in self.epochs), default=0.0)
+
+    def final_accuracy(self) -> float:
+        return self.epochs[-1].test_accuracy if self.epochs else 0.0

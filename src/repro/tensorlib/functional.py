@@ -1,0 +1,246 @@
+"""Differentiable functional primitives built on :class:`repro.tensorlib.Tensor`.
+
+These are the structured operations the model zoo needs that do not fit as
+simple elementwise methods on the tensor class: im2col-based 2-D convolution,
+max/average pooling, embedding lookup and dropout.  Each function constructs the
+forward value with plain numpy and attaches a backward closure that scatters the
+gradient back to its inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensorlib.tensor import Tensor, is_grad_enabled
+
+
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _make_output(data: np.ndarray, parents, backward) -> Tensor:
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    out = Tensor(data, requires_grad=requires, _parents=tuple(parents) if requires else ())
+    if requires:
+        out._backward = backward
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# im2col / col2im
+# --------------------------------------------------------------------------- #
+def im2col(
+    images: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold ``(N, C, H, W)`` images into ``(N, out_h*out_w, C*kh*kw)`` patches."""
+    n, c, h, w = images.shape
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+
+    padded = np.pad(images, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+
+    strides = padded.strides
+    view = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(strides[0], strides[1], strides[2] * sh, strides[3] * sw, strides[2], strides[3]),
+        writeable=False,
+    )
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patches back into image space."""
+    n, c, h, w = image_shape
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += cols[:, :, :, :, i, j]
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, :, ph : ph + h, pw : pw + w]
+
+
+# --------------------------------------------------------------------------- #
+# Convolution
+# --------------------------------------------------------------------------- #
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride=1,
+    padding=0,
+) -> Tensor:
+    """2-D convolution over ``(N, C, H, W)`` input with ``(O, C, kh, kw)`` weight."""
+    stride = _pair(stride)
+    padding = _pair(padding)
+    out_channels, in_channels, kh, kw = weight.shape
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {x.shape[1]} channels, weight expects {in_channels}"
+        )
+
+    cols, (out_h, out_w) = im2col(x.data, (kh, kw), stride, padding)
+    w_mat = weight.data.reshape(out_channels, -1)
+    # (N, L, CKK) @ (CKK, O) -> (N, L, O)
+    out = cols @ w_mat.T
+    if bias is not None:
+        out = out + bias.data.reshape(1, 1, -1)
+    out_data = out.transpose(0, 2, 1).reshape(x.shape[0], out_channels, out_h, out_w)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        # grad: (N, O, out_h, out_w) -> (N, L, O)
+        grad_mat = grad.reshape(x.shape[0], out_channels, out_h * out_w).transpose(0, 2, 1)
+        if weight.requires_grad:
+            grad_w = np.einsum("nlo,nlk->ok", grad_mat, cols)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_mat.sum(axis=(0, 1)))
+        if x.requires_grad:
+            grad_cols = grad_mat @ w_mat
+            grad_x = col2im(grad_cols, x.shape, (kh, kw), stride, padding)
+            x._accumulate(grad_x)
+
+    return _make_output(out_data, parents, backward)
+
+
+# --------------------------------------------------------------------------- #
+# Pooling
+# --------------------------------------------------------------------------- #
+def max_pool2d(x: Tensor, kernel_size=2, stride=None) -> Tensor:
+    """Max pooling over ``(N, C, H, W)`` input."""
+    kernel_size = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else kernel_size
+    n, c, h, w = x.shape
+    kh, kw = kernel_size
+    sh, sw = stride
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+
+    cols, _ = im2col(x.data.reshape(n * c, 1, h, w), kernel_size, stride, (0, 0))
+    cols = cols.reshape(n * c, out_h * out_w, kh * kw)
+    argmax = cols.argmax(axis=2)
+    out_data = np.take_along_axis(cols, argmax[..., None], axis=2).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_cols = np.zeros_like(cols)
+        np.put_along_axis(
+            grad_cols, argmax[..., None], grad.reshape(n * c, out_h * out_w, 1), axis=2
+        )
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel_size, stride, (0, 0))
+        x._accumulate(grad_x.reshape(n, c, h, w))
+
+    return _make_output(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size=2, stride=None) -> Tensor:
+    """Average pooling over ``(N, C, H, W)`` input."""
+    kernel_size = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else kernel_size
+    n, c, h, w = x.shape
+    kh, kw = kernel_size
+    sh, sw = stride
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+
+    cols, _ = im2col(x.data.reshape(n * c, 1, h, w), kernel_size, stride, (0, 0))
+    cols = cols.reshape(n * c, out_h * out_w, kh * kw)
+    out_data = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+    scale = 1.0 / (kh * kw)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_cols = np.repeat(
+            grad.reshape(n * c, out_h * out_w, 1) * scale, kh * kw, axis=2
+        )
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel_size, stride, (0, 0))
+        x._accumulate(grad_x.reshape(n, c, h, w))
+
+    return _make_output(out_data, (x,), backward)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Adaptive average pooling; only square outputs dividing the input evenly are supported."""
+    n, c, h, w = x.shape
+    if h % output_size or w % output_size:
+        raise ValueError("adaptive_avg_pool2d requires the input size to be divisible by output_size")
+    return avg_pool2d(x, kernel_size=(h // output_size, w // output_size))
+
+
+# --------------------------------------------------------------------------- #
+# Embedding, dropout
+# --------------------------------------------------------------------------- #
+def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
+    """Lookup rows of ``weight`` for integer ``indices``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        grad_w = np.zeros_like(weight.data)
+        np.add.at(grad_w, indices, grad)
+        weight._accumulate(grad_w)
+
+    return _make_output(out_data, (weight,), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: scales surviving activations by ``1/(1-p)`` at train time."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return _make_output(out_data, (x,), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Losses (functional form)
+# --------------------------------------------------------------------------- #
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``(N, C)`` logits and integer class targets."""
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = logits.log_softmax(axis=-1)
+    n = logits.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    diff = prediction - Tensor(np.asarray(target, dtype=prediction.dtype))
+    return (diff * diff).mean()
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy of raw logits."""
+    predictions = np.asarray(logits).argmax(axis=-1)
+    return float((predictions == np.asarray(targets)).mean())

@@ -1,0 +1,224 @@
+"""Network cost model, topology (Fig. 4), collectives and process group."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    GBPS,
+    MBPS,
+    ClusterTopology,
+    LinkSpec,
+    NetworkModel,
+    ProcessGroup,
+    all_gather,
+    all_reduce,
+    broadcast,
+    build_paper_topology,
+    build_star_topology,
+    reduce_scatter,
+)
+from repro.comm.network import PAPER_BANDWIDTHS
+
+
+class TestLinkSpec:
+    def test_transfer_time(self):
+        link = LinkSpec(bandwidth=100 * MBPS, latency=1e-3)
+        # 12.5 MB at 12.5 MB/s -> 1 s plus latency
+        assert link.transfer_time(12.5e6) == pytest.approx(1.0 + 1e-3)
+
+    def test_zero_bytes_is_free(self):
+        assert LinkSpec(bandwidth=1e6).transfer_time(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=0)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=1.0, latency=-1)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=1e6).transfer_time(-5)
+
+
+class TestNetworkModel:
+    def test_ring_allreduce_formula(self):
+        model = NetworkModel.from_bandwidth(8, 100 * MBPS, latency=1e-3)
+        nbytes = 1e6
+        expected = 2 * 7 * 1e-3 + (2 * 7 / 8) * nbytes / (100 * MBPS)
+        assert model.ring_all_reduce_time(nbytes) == pytest.approx(expected)
+
+    def test_allgather_costs_more_than_allreduce_for_same_payload(self):
+        model = NetworkModel.from_bandwidth(8, 1 * GBPS)
+        nbytes = 1e7
+        assert model.all_gather_time(nbytes) > model.ring_all_reduce_time(nbytes)
+
+    def test_single_worker_costs_nothing(self):
+        model = NetworkModel.from_bandwidth(1, 100 * MBPS)
+        assert model.ring_all_reduce_time(1e6) == 0.0
+        assert model.all_gather_time(1e6) == 0.0
+        assert model.broadcast_time(1e6) == 0.0
+
+    def test_time_scales_inversely_with_bandwidth(self):
+        slow = NetworkModel.from_bandwidth(8, PAPER_BANDWIDTHS["100Mbps"], latency=0.0)
+        fast = NetworkModel.from_bandwidth(8, PAPER_BANDWIDTHS["1Gbps"], latency=0.0)
+        assert slow.ring_all_reduce_time(1e7) == pytest.approx(10 * fast.ring_all_reduce_time(1e7))
+
+    def test_broadcast_uses_log_rounds(self):
+        model = NetworkModel.from_bandwidth(8, 1 * GBPS, latency=0.0)
+        single = model.bottleneck.transfer_time(1e6)
+        assert model.broadcast_time(1e6) == pytest.approx(math.ceil(math.log2(8)) * single)
+
+    def test_reduce_scatter_is_half_of_allreduce(self):
+        model = NetworkModel.from_bandwidth(4, 1 * GBPS, latency=0.0)
+        assert model.ring_all_reduce_time(4e6) == pytest.approx(2 * model.reduce_scatter_time(4e6))
+
+    def test_from_paper_setting(self):
+        model = NetworkModel.from_paper_setting(8, "500Mbps")
+        assert model.bottleneck.bandwidth == pytest.approx(500 * MBPS)
+        with pytest.raises(KeyError):
+            NetworkModel.from_paper_setting(8, "10Gbps")
+
+
+class TestTopology:
+    def test_paper_topology_counts(self):
+        topo = build_paper_topology()
+        assert len(topo.servers) == 8
+        assert len(topo.switches) == 3
+        # 8 server links + 2 inter-switch links
+        assert topo.graph.number_of_edges() == 10
+
+    def test_bottleneck_is_wan_link(self):
+        topo = build_paper_topology(wan_bandwidth=100 * MBPS)
+        bottleneck = topo.global_bottleneck()
+        assert bottleneck.bandwidth == pytest.approx(100 * MBPS)
+
+    def test_same_switch_path_avoids_wan(self):
+        topo = build_paper_topology(wan_bandwidth=100 * MBPS)
+        # S1 and S4 are both on vswitch0 (round-robin assignment).
+        link = topo.bottleneck_link("S1", "S4")
+        assert link.bandwidth > 100 * MBPS
+
+    def test_cross_switch_path_hits_wan(self):
+        topo = build_paper_topology(wan_bandwidth=100 * MBPS)
+        link = topo.bottleneck_link("S1", "S2")
+        assert link.bandwidth == pytest.approx(100 * MBPS)
+
+    def test_to_network_model(self):
+        topo = build_paper_topology(wan_bandwidth=500 * MBPS)
+        model = topo.to_network_model()
+        assert model.world_size == 8
+        assert model.bottleneck.bandwidth == pytest.approx(500 * MBPS)
+
+    def test_star_topology(self):
+        topo = build_star_topology(4, LinkSpec(1 * GBPS))
+        assert len(topo.servers) == 4
+        assert topo.global_bottleneck().bandwidth == pytest.approx(1 * GBPS)
+
+    def test_describe(self):
+        info = build_paper_topology(wan_bandwidth=1 * GBPS).describe()
+        assert info["bottleneck_bandwidth_mbps"] == pytest.approx(1000.0)
+        assert len(info["servers"]) == 8
+
+    def test_add_link_requires_existing_nodes(self):
+        topo = ClusterTopology()
+        topo.add_server("a")
+        with pytest.raises(KeyError):
+            topo.add_link("a", "missing", LinkSpec(1e6))
+
+    def test_global_bottleneck_requires_two_servers(self):
+        topo = ClusterTopology()
+        topo.add_server("only")
+        with pytest.raises(ValueError):
+            topo.global_bottleneck()
+
+
+class TestCollectives:
+    def test_all_reduce_average(self, rng):
+        buffers = [rng.standard_normal(100) for _ in range(4)]
+        result, event = all_reduce(buffers, average=True)
+        np.testing.assert_allclose(result, np.mean(buffers, axis=0), atol=1e-12)
+        assert event.op == "all_reduce"
+        assert event.world_size == 4
+
+    def test_all_reduce_sum(self, rng):
+        buffers = [rng.standard_normal(10) for _ in range(3)]
+        result, _ = all_reduce(buffers, average=False)
+        np.testing.assert_allclose(result, np.sum(buffers, axis=0), atol=1e-12)
+
+    def test_all_reduce_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            all_reduce([rng.standard_normal(3), rng.standard_normal(4)])
+
+    def test_all_reduce_charges_time(self, rng):
+        network = NetworkModel.from_bandwidth(4, 100 * MBPS)
+        _, event = all_reduce([rng.standard_normal(1000) for _ in range(4)], network)
+        assert event.time_seconds > 0.0
+
+    def test_element_bytes_scales_time(self, rng):
+        network = NetworkModel.from_bandwidth(4, 100 * MBPS, latency=0.0)
+        buffers = [rng.standard_normal(10000) for _ in range(4)]
+        _, fp32 = all_reduce(buffers, network, element_bytes=4)
+        _, fp16 = all_reduce(buffers, network, element_bytes=2)
+        assert fp32.time_seconds == pytest.approx(2 * fp16.time_seconds)
+
+    def test_all_gather_returns_every_buffer(self, rng):
+        buffers = [rng.standard_normal(5) for _ in range(3)]
+        gathered, event = all_gather(buffers)
+        assert len(gathered) == 3
+        for original, got in zip(buffers, gathered):
+            np.testing.assert_array_equal(original, got)
+        assert event.op == "all_gather"
+
+    def test_all_gather_supports_ragged_payloads(self, rng):
+        buffers = [rng.standard_normal(3), rng.standard_normal(7)]
+        gathered, event = all_gather(buffers)
+        assert [g.size for g in gathered] == [3, 7]
+        assert event.payload_elements == 7  # cost charged at the max payload
+
+    def test_broadcast(self, rng):
+        root = rng.standard_normal(6)
+        replicas, event = broadcast(root, world_size=5)
+        assert len(replicas) == 5
+        for replica in replicas:
+            np.testing.assert_array_equal(replica, root)
+        assert event.op == "broadcast"
+
+    def test_reduce_scatter_chunks_sum_to_total(self, rng):
+        buffers = [rng.standard_normal(12) for _ in range(4)]
+        chunks, _ = reduce_scatter(buffers)
+        np.testing.assert_allclose(np.concatenate(chunks), np.sum(buffers, axis=0), atol=1e-12)
+        assert len(chunks) == 4
+
+
+class TestProcessGroup:
+    def test_event_log_accumulates(self, rng):
+        group = ProcessGroup(4, NetworkModel.from_bandwidth(4, 100 * MBPS))
+        group.all_reduce([rng.standard_normal(100) for _ in range(4)])
+        group.all_gather([rng.standard_normal(10) for _ in range(4)])
+        assert len(group.events) == 2
+        assert group.total_time > 0
+        assert group.total_bytes_per_worker > 0
+
+    def test_pop_events_clears_log(self, rng):
+        group = ProcessGroup(2)
+        group.all_reduce([rng.standard_normal(4) for _ in range(2)])
+        events = group.pop_events()
+        assert len(events) == 1
+        assert group.events == []
+
+    def test_wrong_buffer_count_raises(self, rng):
+        group = ProcessGroup(4)
+        with pytest.raises(ValueError):
+            group.all_reduce([rng.standard_normal(4) for _ in range(3)])
+
+    def test_zero_cost_without_network(self, rng):
+        group = ProcessGroup(4)
+        group.all_reduce([rng.standard_normal(4) for _ in range(4)])
+        assert group.total_time == 0.0
+
+    def test_broadcast_replicates(self, rng):
+        group = ProcessGroup(3)
+        replicas = group.broadcast(rng.standard_normal(5))
+        assert len(replicas) == 3

@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.comm import ProcessGroup, all_reduce, NetworkModel
+from repro.comm.network import LinkSpec
+from repro.compression.terngrad import ternarize
+from repro.compression.topk import top_k_indices
+from repro.ddp.bucket import Bucket, BucketSlice, GradBucket
+from repro.metrics import nmse
+from repro.pactrain import MaskTracker, PacTrainCompressor
+from repro.pruning.mask import PruningMask
+from repro.tensorlib import Tensor
+from repro.tensorlib.tensor import _unbroadcast
+
+finite_floats = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+def arrays(shape=None, max_side=6, max_dims=3):
+    if shape is None:
+        shape = hnp.array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side)
+    return hnp.arrays(np.float64, shape, elements=finite_floats)
+
+
+class TestUnbroadcastProperties:
+    @given(arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_identity_when_shapes_match(self, values):
+        np.testing.assert_array_equal(_unbroadcast(values, values.shape), values)
+
+    @given(arrays(max_dims=2, max_side=4), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_reduces_leading_broadcast_dim_by_summation(self, values, repeats):
+        stacked = np.broadcast_to(values, (repeats, *values.shape)).copy()
+        reduced = _unbroadcast(stacked, values.shape)
+        np.testing.assert_allclose(reduced, repeats * values, rtol=1e-9, atol=1e-9)
+
+    @given(arrays(max_dims=2, max_side=5))
+    @settings(max_examples=50, deadline=None)
+    def test_gradient_of_broadcast_add_matches_sum(self, values):
+        """d/db sum(a + b) where b has a size-1 axis equals the count of broadcasts."""
+        if values.ndim < 2:
+            values = values.reshape(1, -1)
+        b = Tensor(np.zeros((1, values.shape[1])), requires_grad=True)
+        a = Tensor(values)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full((1, values.shape[1]), values.shape[0]))
+
+
+class TestAllReduceProperties:
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=64), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_average_is_bounded_by_extremes(self, world, numel, seed):
+        rng = np.random.default_rng(seed)
+        buffers = [rng.standard_normal(numel) for _ in range(world)]
+        result, _ = all_reduce(buffers, average=True)
+        stacked = np.stack(buffers)
+        assert np.all(result <= stacked.max(axis=0) + 1e-12)
+        assert np.all(result >= stacked.min(axis=0) - 1e-12)
+
+    @given(st.integers(min_value=2, max_value=8), st.floats(min_value=1.0, max_value=1e9))
+    @settings(max_examples=40, deadline=None)
+    def test_collective_times_are_monotone_in_payload(self, world, nbytes):
+        model = NetworkModel(world, LinkSpec(bandwidth=1e7, latency=1e-4))
+        assert model.ring_all_reduce_time(nbytes) <= model.ring_all_reduce_time(2 * nbytes)
+        # In the bandwidth-bound regime (zero latency) an all-gather always moves
+        # at least as many bytes per worker as a ring all-reduce.
+        bandwidth_only = NetworkModel(world, LinkSpec(bandwidth=1e7, latency=0.0))
+        assert bandwidth_only.all_gather_time(nbytes) >= bandwidth_only.ring_all_reduce_time(nbytes) - 1e-12
+
+
+class TestTopKProperties:
+    @given(arrays(shape=st.tuples(st.integers(1, 200))), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_selected_magnitudes_dominate_unselected(self, values, k):
+        k = min(k, values.size)
+        idx = top_k_indices(values, k)
+        assert idx.size == min(k, values.size)
+        chosen = np.abs(values[idx])
+        unchosen_mask = np.ones(values.size, dtype=bool)
+        unchosen_mask[idx] = False
+        if unchosen_mask.any():
+            assert chosen.min() >= np.abs(values[unchosen_mask]).max() - 1e-12
+
+
+class TestTernarizeProperties:
+    @given(arrays(shape=st.tuples(st.integers(1, 256))), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_output_support_is_subset_of_input_support(self, values, seed):
+        quantised = ternarize(values, rng=np.random.default_rng(seed))
+        assert np.all(quantised[values == 0.0] == 0.0)
+
+    @given(arrays(shape=st.tuples(st.integers(1, 256))), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_values_bounded_by_scaler(self, values, seed):
+        quantised = ternarize(values, rng=np.random.default_rng(seed))
+        scaler = np.max(np.abs(values)) if values.size else 0.0
+        assert np.all(np.abs(quantised) <= scaler + 1e-12)
+
+    @given(arrays(shape=st.tuples(st.integers(1, 256))), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_sign_preserved_where_nonzero(self, values, seed):
+        quantised = ternarize(values, rng=np.random.default_rng(seed))
+        nonzero = quantised != 0.0
+        assert np.all(np.sign(quantised[nonzero]) == np.sign(values[nonzero]))
+
+
+class TestMaskTrackerProperties:
+    @given(
+        st.lists(
+            hnp.arrays(np.bool_, st.just(32), elements=st.booleans()),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_tracked_mask_is_superset_of_every_observation(self, patterns, threshold):
+        tracker = MaskTracker(stability_threshold=threshold)
+        for pattern in patterns:
+            state = tracker.update(0, pattern)
+            # Every observed non-zero coordinate is covered by the tracked mask.
+            assert np.all(state.mask[pattern])
+
+    @given(
+        hnp.arrays(np.bool_, st.just(64), elements=st.booleans()),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_constant_pattern_stabilises_exactly_at_threshold(self, pattern, threshold, extra):
+        tracker = MaskTracker(stability_threshold=threshold, min_sparsity=0.0)
+        dense = bool(pattern.mean() > 1.0 - 1e-9)
+        for i in range(threshold + extra):
+            state = tracker.update(0, pattern)
+            expected = (i + 1) >= threshold and not (dense and tracker.min_sparsity > 0)
+            assert state.stable == expected or tracker.min_sparsity == 0.0 and state.stable == ((i + 1) >= threshold)
+
+
+class TestPacTrainLosslessProperty:
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=8, max_value=128),
+        st.floats(min_value=0.05, max_value=0.6),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_compact_aggregation_equals_exact_average(self, world, numel, density, seed):
+        """For any shared sparsity pattern, once stable, PacTrain's aggregate is
+        exactly the mean of the per-rank gradients (losslessness)."""
+        rng = np.random.default_rng(seed)
+        mask = rng.random(numel) < density
+        compressor = PacTrainCompressor(stability_threshold=1, min_sparsity=0.0)
+        group = ProcessGroup(world)
+        layout = Bucket(index=0, slices=[BucketSlice("w", 0, numel, (numel,))])
+        for _ in range(3):
+            buffers = [rng.standard_normal(numel) * mask for _ in range(world)]
+            result = compressor.aggregate(GradBucket(layout, buffers), group)
+            np.testing.assert_allclose(result, np.mean(buffers, axis=0), atol=1e-10)
+
+
+class TestPruningMaskProperties:
+    @given(
+        hnp.arrays(np.bool_, hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=20), elements=st.booleans())
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sparsity_and_density_sum_to_one(self, mask_values):
+        mask = PruningMask({"w": mask_values})
+        assert mask.sparsity + mask.density == pytest.approx(1.0)
+        assert 0.0 <= mask.sparsity <= 1.0
+        assert mask.kept_elements == int(mask_values.sum())
+
+
+class TestNMSEProperties:
+    @given(arrays(shape=st.tuples(st.integers(1, 64))), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_nmse_is_scale_invariant(self, values, scale):
+        if np.sum(values ** 2) == 0.0:
+            return
+        noisy = values * 1.1
+        assert nmse(values, noisy) == pytest.approx(nmse(values * scale, noisy * scale), rel=1e-6)
+
+    @given(arrays(shape=st.tuples(st.integers(1, 64))))
+    @settings(max_examples=50, deadline=None)
+    def test_nmse_nonnegative(self, values):
+        assert nmse(values, np.zeros_like(values)) >= 0.0

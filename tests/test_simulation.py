@@ -1,0 +1,210 @@
+"""Simulation substrate: compute model, cluster spec, timeline, experiment driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.models import mlp_tiny, resnet18_mini, vgg19_mini
+from repro.simulation import (
+    ClusterSpec,
+    ComputeModel,
+    DeviceSpec,
+    EpochRecord,
+    ExperimentConfig,
+    MethodSpec,
+    PAPER_METHODS,
+    TrainingTimeline,
+    estimate_model_flops,
+    evaluate_accuracy,
+    run_experiment,
+)
+from repro.simulation.compute import DEVICE_PRESETS
+from repro.simulation.experiment import run_method_comparison
+from repro.data import DataLoader
+
+
+class TestComputeModel:
+    def test_flop_estimate_positive_and_scales_with_batch(self):
+        model = vgg19_mini(seed=0)
+        one = estimate_model_flops(model, (3, 8, 8), batch_size=1)
+        four = estimate_model_flops(model, (3, 8, 8), batch_size=4)
+        assert one > 0
+        assert four == pytest.approx(4 * one)
+
+    def test_bigger_models_cost_more(self):
+        small = estimate_model_flops(mlp_tiny(seed=0), (3, 8, 8), 1)
+        big = estimate_model_flops(vgg19_mini(seed=0), (3, 8, 8), 1)
+        assert big > small
+
+    def test_iteration_time_inverse_in_throughput(self):
+        model = resnet18_mini(seed=0)
+        slow = ComputeModel(DeviceSpec("slow", 1e9))
+        fast = ComputeModel(DeviceSpec("fast", 2e9))
+        assert slow.iteration_time(model, (3, 8, 8), 32) == pytest.approx(
+            2 * fast.iteration_time(model, (3, 8, 8), 32)
+        )
+
+    def test_device_presets(self):
+        assert "sim-gpu" in DEVICE_PRESETS and "a40" in DEVICE_PRESETS
+        assert ComputeModel("a40").device.flops_per_second > ComputeModel("sim-gpu").device.flops_per_second
+        with pytest.raises(KeyError):
+            ComputeModel("tpu")
+
+    def test_sparse_speedup_reduces_time(self):
+        model = resnet18_mini(seed=0)
+        dense = ComputeModel("sim-gpu", sparse_speedup=True).iteration_time(model, (3, 8, 8), 32, 0.0)
+        sparse = ComputeModel("sim-gpu", sparse_speedup=True).iteration_time(model, (3, 8, 8), 32, 0.8)
+        assert sparse < dense
+
+    def test_invalid_device(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 0.0)
+
+
+class TestClusterSpec:
+    def test_paper_bandwidth_settings(self):
+        for setting, mbps in [("100Mbps", 100), ("500Mbps", 500), ("1Gbps", 1000)]:
+            cluster = ClusterSpec(world_size=8, bandwidth=setting)
+            assert cluster.bandwidth_bytes_per_second() * 8 / 1e6 == pytest.approx(mbps)
+
+    def test_numeric_bandwidth(self):
+        cluster = ClusterSpec(world_size=4, bandwidth=1e6)
+        assert cluster.bandwidth_bytes_per_second() == pytest.approx(1e6)
+
+    def test_network_model_and_group(self):
+        cluster = ClusterSpec(world_size=4, bandwidth="500Mbps")
+        assert cluster.network_model().world_size == 4
+        assert cluster.process_group().world_size == 4
+
+    def test_topology_matches_bandwidth(self):
+        cluster = ClusterSpec(world_size=8, bandwidth="100Mbps")
+        topo = cluster.topology()
+        assert len(topo.servers) == 8
+        assert topo.global_bottleneck().bandwidth == pytest.approx(cluster.bandwidth_bytes_per_second())
+
+    def test_describe(self):
+        info = ClusterSpec(world_size=8, bandwidth="1Gbps").describe()
+        assert info["world_size"] == 8
+        assert info["bandwidth_mbps"] == pytest.approx(1000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(world_size=0)
+        with pytest.raises(KeyError):
+            ClusterSpec(bandwidth="2Gbps").bandwidth_bytes_per_second()
+
+
+class TestTimeline:
+    def test_accumulation(self):
+        timeline = TrainingTimeline()
+        timeline.add_iteration(0.1, 0.5, 100.0)
+        timeline.add_iteration(0.1, 0.5, 100.0)
+        assert timeline.total_time == pytest.approx(1.2)
+        assert timeline.iterations == 2
+        assert timeline.comm_bytes_per_worker == pytest.approx(200.0)
+
+    def test_epoch_snapshots_and_tta(self):
+        timeline = TrainingTimeline()
+        for epoch, accuracy in enumerate([0.3, 0.6, 0.85, 0.9]):
+            timeline.add_iteration(1.0, 1.0)
+            record = timeline.snapshot_epoch(epoch, train_loss=1.0, test_accuracy=accuracy)
+            assert isinstance(record, EpochRecord)
+        assert timeline.time_to_accuracy(0.8) == pytest.approx(6.0)
+        assert timeline.time_to_accuracy(0.95) is None
+        assert timeline.best_accuracy() == pytest.approx(0.9)
+        assert timeline.final_accuracy() == pytest.approx(0.9)
+        assert len(timeline.accuracy_trace()) == 4
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingTimeline().add_iteration(-1.0, 0.0)
+
+
+class TestMethodSpec:
+    def test_paper_methods_present(self):
+        assert set(PAPER_METHODS) == {"all-reduce", "fp16", "topk-0.1", "topk-0.01", "pactrain"}
+        assert PAPER_METHODS["pactrain"].pruning_ratio == pytest.approx(0.5)
+        assert PAPER_METHODS["pactrain"].gse
+
+    def test_build_compressor_for_each_method(self):
+        for method in PAPER_METHODS.values():
+            compressor = method.build_compressor()
+            assert hasattr(compressor, "aggregate")
+
+    def test_pactrain_spec_builds_pactrain_compressor(self):
+        from repro.pactrain import PacTrainCompressor
+
+        spec = MethodSpec(name="pactrain", compressor="pactrain", quantize=True)
+        assert isinstance(spec.build_compressor(), PacTrainCompressor)
+
+
+class TestExperimentDriver:
+    @pytest.fixture
+    def quick_config(self):
+        return ExperimentConfig(
+            model="mlp",
+            dataset="cifar10",
+            cluster=ClusterSpec(world_size=2, bandwidth="100Mbps"),
+            epochs=2,
+            batch_size=16,
+            dataset_samples=96,
+            pretrain_iterations=2,
+            seed=0,
+        )
+
+    def test_run_experiment_allreduce(self, quick_config):
+        result = run_experiment(quick_config, PAPER_METHODS["all-reduce"])
+        assert result.method == "all-reduce"
+        assert result.epochs_run == 2
+        assert result.iterations_run > 0
+        assert 0.0 <= result.final_accuracy <= 1.0
+        assert result.comm_time > 0
+        assert result.compute_time > 0
+        assert result.simulated_time == pytest.approx(result.comm_time + result.compute_time)
+        assert result.weight_sparsity < 0.05
+
+    def test_run_experiment_pactrain_prunes(self, quick_config):
+        result = run_experiment(quick_config, PAPER_METHODS["pactrain"])
+        assert result.weight_sparsity > 0.2
+        assert result.gradient_density < 0.8
+        assert result.compression_ratio > 1.0
+
+    def test_pactrain_uses_less_comm_time_than_allreduce(self, quick_config):
+        base = run_experiment(quick_config, PAPER_METHODS["all-reduce"])
+        pac = run_experiment(quick_config, PAPER_METHODS["pactrain"])
+        assert pac.comm_time < base.comm_time
+
+    def test_tta_reported_when_target_reached(self, quick_config):
+        quick_config.target_accuracy = 0.15
+        quick_config.epochs = 3
+        result = run_experiment(quick_config, PAPER_METHODS["all-reduce"])
+        if result.best_accuracy >= 0.15:
+            assert result.tta is not None
+            assert result.tta <= result.simulated_time
+        assert result.tta_or_total() > 0
+
+    def test_deterministic_given_seed(self, quick_config):
+        a = run_experiment(quick_config, PAPER_METHODS["fp16"])
+        b = run_experiment(quick_config, PAPER_METHODS["fp16"])
+        assert a.final_accuracy == pytest.approx(b.final_accuracy)
+        assert a.simulated_time == pytest.approx(b.simulated_time)
+
+    def test_method_comparison_runs_all(self, quick_config):
+        results = run_method_comparison(
+            quick_config,
+            [PAPER_METHODS["all-reduce"], PAPER_METHODS["fp16"]],
+        )
+        assert set(results) == {"all-reduce", "fp16"}
+
+    def test_evaluate_accuracy_bounds(self, tiny_split):
+        train, test = tiny_split
+        model = mlp_tiny(seed=0)
+        accuracy = evaluate_accuracy(model, DataLoader(test, batch_size=8))
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(epochs=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(batch_size=0)
