@@ -1,12 +1,19 @@
-"""Communication volume and collective cost per method (analytic, no training).
+"""Communication volume and collective cost per method (measured, no training).
 
 Supports §IV.C.2's discussion ("PacTrain, being compatible with all-reduce,
 ensures communication cost scales proportionally to the pruning ratio", and
 TopK-0.1 "causing network congestion" through its all-gather exchange): for a
-fixed gradient size this benchmark computes, per method, the bytes each worker
+fixed gradient size this benchmark reports, per method, the bytes each worker
 puts on the wire for one synchronisation and the modeled collective time at
-each paper bandwidth.  Because no training is involved this also serves as a
-fast micro-benchmark of the compressor implementations themselves.
+each paper bandwidth.  The byte counts come from the process-group event log,
+where the collective layer charges each operation from the encoded
+``WirePayload.nbytes`` — they are measured off the wire representation, not
+asserted by the compressors.  Because no training is involved this also serves
+as a fast micro-benchmark of the compressor implementations themselves.
+
+Beyond the paper's named methods, two *composed* codec pipelines
+(``topk0.01+terngrad``, ``randomk0.1+fp16``) demonstrate that arbitrary stage
+compositions flow through the same driver and accounting.
 """
 
 from __future__ import annotations
@@ -24,7 +31,18 @@ WORLD_SIZE = 8
 NUMEL = 200_000          # gradient elements per synchronisation
 PRUNING_DENSITY = 0.5    # fraction of non-zero gradient coordinates under PacTrain
 
-METHODS = ("allreduce", "fp16", "topk-0.1", "topk-0.01", "terngrad", "dgc-0.01", "pactrain", "pactrain-terngrad")
+METHODS = (
+    "allreduce",
+    "fp16",
+    "topk-0.1",
+    "topk-0.01",
+    "terngrad",
+    "dgc-0.01",
+    "pactrain",
+    "pactrain-terngrad",
+    "topk0.01+terngrad",
+    "randomk0.1+fp16",
+)
 
 
 def _bucket(rng: np.random.Generator, mask: np.ndarray) -> GradBucket:
@@ -104,3 +122,8 @@ def bench_comm_volume_per_method(benchmark):
     # TopK-0.1's all-gather exchange costs more time at 100 Mbps than PacTrain's
     # compact all-reduce — the congestion effect called out in §IV.C.1.
     assert report["pactrain"]["time_100Mbps"] < report["topk-0.1"]["time_100Mbps"]
+    # Composed pipelines: ternarising the top-k values shrinks the per-element
+    # value cost from 4 to 0.25 bytes (indices still travel), and fp16-casting
+    # the random-k values halves their wire size.
+    assert report["topk0.01+terngrad"]["bytes"] < report["topk-0.01"]["bytes"]
+    assert report["randomk0.1+fp16"]["bytes"] < report["fp16"]["bytes"]

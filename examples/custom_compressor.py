@@ -1,14 +1,21 @@
-"""Extending the framework: write a custom gradient compressor and plug it into DDP.
+"""Extending the framework: write a custom codec stage and plug it into DDP.
 
 This example shows the lower-level API the PacTrain implementation itself is
 built on:
 
-* implement the :class:`repro.compression.Compressor` interface (here: a toy
-  "sign-SGD with shared scale" compressor);
-* register it under a name so experiment configurations can refer to it;
+* implement a custom :class:`repro.compression.Codec` stage (here: a toy
+  "sign-SGD with shared scale" codec) — ``prepare`` agrees on the scale
+  across ranks, ``encode`` emits a 1-bit-per-element wire payload, ``decode``
+  rescales back to gradient units;
+* bind it to the shared encode/reduce/decode driver with
+  :class:`repro.compression.CodecCompressor` and register it under a name so
+  experiment configurations can refer to it;
 * drive the DDP simulator directly — per-rank forward/backward, bucketed
-  gradient exchange through the custom hook — and inspect the Mask Tracker on
-  the flat bucket gradients, exactly the view a PyTorch DDP comm hook would see.
+  gradient exchange — and inspect the Mask Tracker on the flat bucket
+  gradients, exactly the view a PyTorch DDP comm hook would see.
+
+Note there is no byte bookkeeping anywhere in the custom code: the collective
+layer reads the wire size straight off the payload (``payload.nbytes``).
 
 Run with:  python examples/custom_compressor.py
 """
@@ -18,8 +25,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm import NetworkModel, ProcessGroup
-from repro.compression import Compressor, register_compressor, build_compressor
-from repro.compression.base import FP32_BYTES
+from repro.compression import (
+    Codec,
+    CodecCompressor,
+    DensePayload,
+    build_compressor,
+    register_compressor,
+)
 from repro.data import DataLoader, DistributedSampler, synthetic_cifar10
 from repro.ddp import DistributedDataParallel
 from repro.nn import SGD
@@ -32,27 +44,34 @@ WORLD_SIZE = 4
 SIGN_BYTES = 1.0 / 8.0  # one bit per element on the wire
 
 
-class SignCompressor(Compressor):
+class SignCodec(Codec):
     """Sign compression: transmit sign(grad) plus one shared scale per bucket."""
 
     name = "sign"
-    allreduce_compatible = True
-    lossless = False
+    allreduce_compatible = True  # signs are element-wise summable
 
-    def aggregate(self, bucket, group, iteration=0):
-        # Shared scale: the mean absolute gradient across ranks (tiny payload).
-        scales = [np.array([np.mean(np.abs(flat))]) for flat in bucket.buffers]
-        group.all_reduce(scales, average=True, element_bytes=FP32_BYTES)
-        scale = float(np.mean([s[0] for s in scales]))
+    def __init__(self) -> None:
+        self._scale = 1.0
 
-        signs = [np.sign(flat) for flat in bucket.buffers]
-        result = group.all_reduce(signs, average=True, element_bytes=SIGN_BYTES)
-        self._record(bucket, SIGN_BYTES)
-        return result * scale
+    def prepare(self, inputs, ctx):
+        # Shared scale: the mean absolute gradient across ranks.  The
+        # one-scalar all-reduce is issued for its modeled cost; the shared
+        # value is computed locally (the simulation holds all ranks in-process).
+        means = [float(np.mean(np.abs(p.values))) for p in inputs]
+        if ctx.group is not None:
+            ctx.group.all_reduce([DensePayload(np.array([m])) for m in means], average=True)
+        self._scale = float(np.mean(means))
+
+    def encode(self, payload, ctx, rank=0):
+        # One bit per element on the wire: the payload *is* the byte account.
+        return DensePayload(np.sign(payload.values), element_bytes=SIGN_BYTES)
+
+    def decode(self, payload):
+        return DensePayload(np.asarray(payload.values, dtype=np.float64) * self._scale)
 
 
 def main() -> None:
-    register_compressor("sign", SignCompressor)
+    register_compressor("sign", lambda: CodecCompressor([SignCodec()], name="sign"))
 
     dataset = synthetic_cifar10(num_samples=256, image_size=8, seed=0)
     model = build_model("vgg19", num_classes=10, seed=0)
@@ -71,7 +90,7 @@ def main() -> None:
         for rank in range(WORLD_SIZE)
     ]
 
-    print(f"Training VGG19-mini with a custom sign compressor on {WORLD_SIZE} workers\n")
+    print(f"Training VGG19-mini with a custom sign codec on {WORLD_SIZE} workers\n")
     for epoch in range(2):
         for loader in loaders:
             loader.set_epoch(epoch)
@@ -101,8 +120,8 @@ def main() -> None:
                 f"comm={comm_time * 1e3:.1f} ms"
             )
 
-    compressor = ddp._hook.compressor  # the SignCompressor instance
-    print(f"\nSign compressor wire ratio: {compressor.stats.compression_ratio:.1f}x "
+    compressor = ddp._hook.compressor  # the CodecCompressor instance
+    print(f"\nSign codec wire ratio: {compressor.stats.compression_ratio:.1f}x "
           f"(raw {compressor.stats.raw_bytes / 1e6:.2f} MB -> {compressor.stats.wire_bytes / 1e6:.3f} MB)")
 
 

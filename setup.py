@@ -1,10 +1,53 @@
-"""Setup shim so that ``pip install -e .`` works without the ``wheel`` package.
+"""Packaging metadata for the PacTrain reproduction.
 
-All project metadata lives in ``pyproject.toml``; this file only enables the
-legacy editable-install path (``--no-use-pep517`` is not required: pip falls
-back to ``setup.py develop`` when wheel building is unavailable).
+The project uses a ``src/`` layout; ``pip install -e .`` exposes the
+``repro`` package.  Benchmarks and examples are run from the repository
+checkout and are intentionally not installed.
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _read_long_description() -> str:
+    readme = os.path.join(os.path.dirname(os.path.abspath(__file__)), "README.md")
+    with open(readme, encoding="utf-8") as handle:
+        return handle.read()
+
+
+setup(
+    name="pactrain-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of PacTrain: pruning-aware gradient compression for "
+        "bandwidth-limited data-parallel training, with a composable "
+        "encode/reduce/decode codec pipeline and measured wire-byte accounting"
+    ),
+    long_description=_read_long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+        "networkx>=3.0",
+    ],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+        "Topic :: System :: Distributed Computing",
+    ],
+    keywords="gradient-compression distributed-training pruning simulation reproduction",
+)

@@ -1,25 +1,56 @@
 """Collective communication operations over simulated ranks.
 
-Each collective takes the per-rank numpy buffers (a list indexed by rank),
-computes the mathematically exact result and returns it together with a
-:class:`CollectiveEvent` describing the modeled cost: which algorithm ran, how
-many bytes each worker put on the wire, and how long the operation took under
-the :class:`repro.comm.network.NetworkModel`.
+Each collective takes the per-rank buffers (a list indexed by rank) — either
+raw numpy arrays or first-class :class:`~repro.compression.codec.payloads.WirePayload`
+objects — computes the mathematically exact result and returns it together
+with a :class:`CollectiveEvent` describing the modeled cost: which algorithm
+ran, how many bytes each worker put on the wire, and how long the operation
+took under the :class:`repro.comm.network.NetworkModel`.
+
+When payloads are passed, the wire size is **derived from the encoded
+representation** (``payload.nbytes``): a sparse payload is charged for its
+(index, value) pairs, a ternary payload for two bits per element, and so on.
+The legacy raw-array path keeps the ``element_bytes`` override for tests and
+ad-hoc modeling, but the compression stack itself always communicates
+payloads, so byte accounting is measured rather than asserted.
 
 The numerical results are exact (no simulation of per-step partial sums is
 needed for correctness), while the *costs* follow the standard ring-based
 algorithms — this mirrors how NCCL behaves from the training loop's point of
 view: the right answer arrives after a bandwidth/latency dependent delay.
+Reductions accumulate rank by rank into one preallocated buffer, so peak
+memory stays O(numel) instead of the O(world × numel) of a stack-then-sum.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.comm.network import NetworkModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compression.codec.payloads import WirePayload
+
+Buffers = Sequence[Union[np.ndarray, "WirePayload"]]
+
+
+_WIRE_PAYLOAD_CLS = None
+
+
+def _is_payload(value) -> bool:
+    # Deferred import: repro.compression.base imports the process group, so a
+    # module-level import here would be circular.  By the time payloads reach a
+    # collective the compression package is importable; cache the class so the
+    # hot path pays the import machinery only once.
+    global _WIRE_PAYLOAD_CLS
+    if _WIRE_PAYLOAD_CLS is None:
+        from repro.compression.codec.payloads import WirePayload  # noqa: PLC0415
+
+        _WIRE_PAYLOAD_CLS = WirePayload
+    return isinstance(value, _WIRE_PAYLOAD_CLS)
 
 
 @dataclass
@@ -34,6 +65,18 @@ class CollectiveEvent:
     metadata: dict = field(default_factory=dict)
 
 
+def _is_payload_sequence(buffers: Buffers) -> bool:
+    if len(buffers) == 0:
+        raise ValueError("collective called with no buffers")
+    payload_count = sum(1 for b in buffers if _is_payload(b))
+    if 0 < payload_count < len(buffers):
+        raise ValueError(
+            f"collective received a mix of {payload_count} WirePayloads and "
+            f"{len(buffers) - payload_count} raw arrays; pass one kind per call"
+        )
+    return payload_count == len(buffers)
+
+
 def _check_buffers(buffers: Sequence[np.ndarray]) -> None:
     if len(buffers) == 0:
         raise ValueError("collective called with no buffers")
@@ -43,6 +86,34 @@ def _check_buffers(buffers: Sequence[np.ndarray]) -> None:
             raise ValueError(
                 f"rank {index} buffer shape {buffer.shape} differs from rank 0 shape {shape}"
             )
+
+
+def _check_payloads(payloads: Sequence[WirePayload]) -> None:
+    head = payloads[0]
+    for index, payload in enumerate(payloads[1:], start=1):
+        if not head.reducible_with(payload):
+            raise ValueError(
+                f"rank {index} payload ({type(payload).__name__}) is not element-wise "
+                f"reducible with rank 0 ({type(head).__name__}); aggregate per-rank "
+                "selections with all_gather instead"
+            )
+
+
+def accumulate_sum(arrays) -> np.ndarray:
+    """Sum an iterable of equal-shaped arrays into one float64 buffer.
+
+    Accumulates item by item (accepts a lazy generator), so peak memory stays
+    O(numel) regardless of how many ranks contribute.  Shared by the raw and
+    payload collective paths and by :func:`repro.compression.base.exact_average`.
+    """
+    total: Optional[np.ndarray] = None
+    for array in arrays:
+        if total is None:
+            total = np.zeros(np.shape(array), dtype=np.float64)
+        np.add(total, array, out=total, casting="unsafe")
+    if total is None:
+        raise ValueError("accumulate_sum called with no arrays")
+    return total
 
 
 def ring_all_reduce_time(network: NetworkModel, num_bytes: float) -> float:
@@ -56,38 +127,67 @@ def all_gather_time(network: NetworkModel, num_bytes: float) -> float:
 
 
 def all_reduce(
-    buffers: Sequence[np.ndarray],
+    buffers: Buffers,
     network: Optional[NetworkModel] = None,
     average: bool = True,
-    element_bytes: Optional[int] = None,
-) -> tuple[np.ndarray, CollectiveEvent]:
-    """Sum (or average) identical-shaped buffers across ranks via ring all-reduce.
+    element_bytes: Optional[float] = None,
+) -> tuple:
+    """Sum (or average) the per-rank buffers via a modeled ring all-reduce.
 
     Parameters
     ----------
     buffers:
-        One array per rank, all the same shape.
+        One buffer per rank: raw arrays (all the same shape) or element-wise
+        reducible :class:`WirePayload` objects.
     network:
         Cost model; if ``None``, time is reported as ``0`` (useful in unit tests).
     average:
         Divide by the world size (the DDP convention for gradients).
     element_bytes:
-        Wire size per element.  Defaults to the buffer's dtype itemsize; pass a
-        smaller value to model quantised payloads (e.g. 2 for fp16) without
-        changing the arithmetic dtype.
+        Wire size per element for the raw-array path only.  Defaults to the
+        buffer's dtype itemsize.  Ignored for payloads, whose wire size is
+        ``payload.nbytes`` by construction.
+
+    Returns
+    -------
+    ``(result, event)`` where ``result`` mirrors the input kind: a dense array
+    for raw arrays, a reduced :class:`WirePayload` (same structure, reduced
+    values) for payloads.
     """
+    if _is_payload_sequence(buffers):
+        payloads: Sequence[WirePayload] = buffers  # type: ignore[assignment]
+        _check_payloads(payloads)
+        world_size = len(payloads)
+        # Lazy generator: only one decoded buffer is live at a time.
+        total = accumulate_sum(payload.reduce_values() for payload in payloads)
+        if average:
+            total /= world_size
+        reduced = payloads[0].with_reduced(total)
+
+        num_bytes = max(payload.nbytes for payload in payloads)
+        time = network.ring_all_reduce_time(num_bytes) if network is not None else 0.0
+        event = CollectiveEvent(
+            op="all_reduce",
+            bytes_per_worker=2.0 * (world_size - 1) / world_size * num_bytes if world_size > 1 else 0.0,
+            time_seconds=time,
+            world_size=world_size,
+            payload_elements=int(payloads[0].transmitted_elements),
+            metadata={"payload": type(payloads[0]).__name__},
+        )
+        return reduced, event
+
     _check_buffers(buffers)
     world_size = len(buffers)
-    result = np.sum(np.stack([np.asarray(b, dtype=np.float64) for b in buffers]), axis=0)
+    result = accumulate_sum(np.asarray(b, dtype=np.float64) for b in buffers)
     if average:
-        result = result / world_size
+        result /= world_size
 
     itemsize = element_bytes if element_bytes is not None else buffers[0].dtype.itemsize
     num_bytes = buffers[0].size * itemsize
     time = network.ring_all_reduce_time(num_bytes) if network is not None else 0.0
     event = CollectiveEvent(
         op="all_reduce",
-        bytes_per_worker=2.0 * (world_size - 1) / max(world_size, 1) * num_bytes if world_size > 1 else 0.0,
+        bytes_per_worker=2.0 * (world_size - 1) / world_size * num_bytes if world_size > 1 else 0.0,
         time_seconds=time,
         world_size=world_size,
         payload_elements=int(buffers[0].size),
@@ -96,21 +196,37 @@ def all_reduce(
 
 
 def all_gather(
-    buffers: Sequence[np.ndarray],
+    buffers: Buffers,
     network: Optional[NetworkModel] = None,
-    element_bytes: Optional[int] = None,
-) -> tuple[List[np.ndarray], CollectiveEvent]:
-    """Gather every rank's buffer onto every rank.
+    element_bytes: Optional[float] = None,
+) -> tuple:
+    """Gather every rank's buffer (or payload) onto every rank.
 
     Unlike :func:`all_reduce`, buffers may have *different lengths* (as happens
     with per-rank top-k selections); the cost model charges the maximum
     per-rank payload, matching the padded all-gather used in practice.
     """
-    if len(buffers) == 0:
-        raise ValueError("collective called with no buffers")
     world_size = len(buffers)
-    gathered = [np.array(b, copy=True) for b in buffers]
+    if _is_payload_sequence(buffers):
+        import copy as _copy  # noqa: PLC0415
 
+        payloads: Sequence[WirePayload] = buffers  # type: ignore[assignment]
+        num_bytes = max(payload.nbytes for payload in payloads)
+        max_elements = max(int(p.transmitted_elements) for p in payloads)
+        time = network.all_gather_time(num_bytes) if network is not None else 0.0
+        event = CollectiveEvent(
+            op="all_gather",
+            bytes_per_worker=(world_size - 1) * num_bytes if world_size > 1 else 0.0,
+            time_seconds=time,
+            world_size=world_size,
+            payload_elements=max_elements,
+            metadata={"payload": type(payloads[0]).__name__},
+        )
+        # Independent copies, matching the raw-array path's semantics (the
+        # inputs may hold views into a stage's internal state).
+        return [_copy.deepcopy(payload) for payload in payloads], event
+
+    gathered = [np.array(b, copy=True) for b in buffers]
     itemsize = element_bytes if element_bytes is not None else buffers[0].dtype.itemsize
     max_elements = max(b.size for b in buffers)
     num_bytes = max_elements * itemsize
@@ -126,24 +242,37 @@ def all_gather(
 
 
 def broadcast(
-    buffer: np.ndarray,
+    buffer: Union[np.ndarray, WirePayload],
     world_size: int,
     network: Optional[NetworkModel] = None,
-    element_bytes: Optional[int] = None,
-) -> tuple[List[np.ndarray], CollectiveEvent]:
-    """Broadcast a root buffer to all ranks (used for initial weight sync)."""
+    element_bytes: Optional[float] = None,
+) -> tuple:
+    """Broadcast a root buffer or payload to all ranks (weight/mask sync)."""
     if world_size < 1:
         raise ValueError("world_size must be >= 1")
-    replicas = [np.array(buffer, copy=True) for _ in range(world_size)]
-    itemsize = element_bytes if element_bytes is not None else buffer.dtype.itemsize
-    num_bytes = buffer.size * itemsize
+    if _is_payload(buffer):
+        import copy as _copy  # noqa: PLC0415
+
+        num_bytes = buffer.nbytes
+        # Independent replicas, matching the raw-array path's copy semantics
+        # (payload dataclasses are frozen but their ndarray fields are not).
+        replicas: List = [_copy.deepcopy(buffer) for _ in range(world_size)]
+        payload_elements = int(buffer.num_elements)
+        metadata = {"payload": type(buffer).__name__}
+    else:
+        itemsize = element_bytes if element_bytes is not None else buffer.dtype.itemsize
+        num_bytes = buffer.size * itemsize
+        replicas = [np.array(buffer, copy=True) for _ in range(world_size)]
+        payload_elements = int(buffer.size)
+        metadata = {}
     time = network.broadcast_time(num_bytes) if network is not None else 0.0
     event = CollectiveEvent(
         op="broadcast",
         bytes_per_worker=num_bytes if world_size > 1 else 0.0,
         time_seconds=time,
         world_size=world_size,
-        payload_elements=int(buffer.size),
+        payload_elements=payload_elements,
+        metadata=metadata,
     )
     return replicas, event
 
@@ -152,14 +281,14 @@ def reduce_scatter(
     buffers: Sequence[np.ndarray],
     network: Optional[NetworkModel] = None,
     average: bool = False,
-    element_bytes: Optional[int] = None,
-) -> tuple[List[np.ndarray], CollectiveEvent]:
+    element_bytes: Optional[float] = None,
+) -> tuple:
     """Reduce buffers across ranks and scatter equal chunks back to each rank."""
     _check_buffers(buffers)
     world_size = len(buffers)
-    total = np.sum(np.stack([np.asarray(b, dtype=np.float64) for b in buffers]), axis=0)
+    total = accumulate_sum(np.asarray(b, dtype=np.float64) for b in buffers)
     if average:
-        total = total / world_size
+        total /= world_size
     flat = total.reshape(-1)
     chunks = np.array_split(flat, world_size)
 
@@ -168,7 +297,7 @@ def reduce_scatter(
     time = network.reduce_scatter_time(num_bytes) if network is not None else 0.0
     event = CollectiveEvent(
         op="reduce_scatter",
-        bytes_per_worker=(world_size - 1) / max(world_size, 1) * num_bytes if world_size > 1 else 0.0,
+        bytes_per_worker=(world_size - 1) / world_size * num_bytes if world_size > 1 else 0.0,
         time_seconds=time,
         world_size=world_size,
         payload_elements=int(buffers[0].size),

@@ -5,15 +5,21 @@ of every collective issued through it.  The DDP simulator and the compressors
 call collectives through the group so that the experiment driver can later ask
 "how many bytes went over the wire?" and "how much simulated time did gradient
 synchronisation take?" — the two quantities behind every figure in the paper.
+
+Collectives accept either raw numpy arrays (charged per ``element_bytes``) or
+:class:`~repro.compression.codec.payloads.WirePayload` objects, whose wire
+size is derived from the encoded representation (``payload.nbytes``) — the
+path every compressor uses, so the byte log is measured, not asserted.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.comm.collectives import (
+    Buffers,
     CollectiveEvent,
     all_gather,
     all_reduce,
@@ -38,10 +44,15 @@ class ProcessGroup:
     # ------------------------------------------------------------------ #
     def all_reduce(
         self,
-        buffers: Sequence[np.ndarray],
+        buffers: Buffers,
         average: bool = True,
-        element_bytes: Optional[int] = None,
-    ) -> np.ndarray:
+        element_bytes: Optional[float] = None,
+    ):
+        """Reduce per-rank buffers/payloads; returns the reduced value.
+
+        Raw arrays reduce to a dense array; payloads reduce to a payload of
+        the same structure carrying the reduced values.
+        """
         self._check_world(buffers)
         result, event = all_reduce(buffers, self.network, average=average, element_bytes=element_bytes)
         self.events.append(event)
@@ -49,15 +60,15 @@ class ProcessGroup:
 
     def all_gather(
         self,
-        buffers: Sequence[np.ndarray],
-        element_bytes: Optional[int] = None,
-    ) -> List[np.ndarray]:
+        buffers: Buffers,
+        element_bytes: Optional[float] = None,
+    ) -> List:
         self._check_world(buffers)
         gathered, event = all_gather(buffers, self.network, element_bytes=element_bytes)
         self.events.append(event)
         return gathered
 
-    def broadcast(self, buffer: np.ndarray, element_bytes: Optional[int] = None) -> List[np.ndarray]:
+    def broadcast(self, buffer, element_bytes: Optional[float] = None) -> List:
         replicas, event = broadcast(buffer, self.world_size, self.network, element_bytes=element_bytes)
         self.events.append(event)
         return replicas
@@ -66,7 +77,7 @@ class ProcessGroup:
         self,
         buffers: Sequence[np.ndarray],
         average: bool = False,
-        element_bytes: Optional[int] = None,
+        element_bytes: Optional[float] = None,
     ) -> List[np.ndarray]:
         self._check_world(buffers)
         chunks, event = reduce_scatter(buffers, self.network, average=average, element_bytes=element_bytes)

@@ -1,24 +1,56 @@
-"""Compressor interface and shared bookkeeping."""
+"""Compressor interface, the shared codec aggregation driver and bookkeeping.
+
+A :class:`Compressor` turns one gradient bucket (per-rank flat tensors) into
+the aggregated average gradient, issuing all communication through the process
+group so the network cost model sees it.  Since the codec refactor every
+built-in compressor is a :class:`CodecCompressor`: a thin wrapper binding a
+:class:`~repro.compression.codec.pipeline.Pipeline` of encode/decode stages to
+the shared **encode → reduce/gather → decode** driver below.  Wire bytes are
+derived from the encoded :class:`~repro.compression.codec.payloads.WirePayload`
+at the collective layer — compressors no longer self-report byte counts.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.comm.process_group import ProcessGroup
+from repro.compression.codec.payloads import (
+    FP16_BYTES,
+    FP32_BYTES,
+    INDEX_BYTES,
+    TERNARY_BYTES,
+    WirePayload,
+)
+from repro.compression.codec.pipeline import Pipeline, as_pipeline
+from repro.compression.codec.stages import Codec, EncodeContext
 from repro.ddp.bucket import GradBucket
 
-FP32_BYTES = 4.0
-FP16_BYTES = 2.0
-INDEX_BYTES = 4.0
-TERNARY_BYTES = 0.25  # 2 bits per element
+__all__ = [
+    "FP32_BYTES",
+    "FP16_BYTES",
+    "INDEX_BYTES",
+    "TERNARY_BYTES",
+    "CompressionStats",
+    "Compressor",
+    "CodecCompressor",
+    "exact_average",
+]
 
 
 @dataclass
 class CompressionStats:
-    """Per-compressor running statistics (across all buckets and iterations)."""
+    """Per-compressor running statistics (across all buckets and iterations).
+
+    ``wire_bytes`` accumulates one *per-worker* payload size per aggregation —
+    the largest ``WirePayload.nbytes`` handed to the collective layer that
+    iteration (ranks send symmetric payloads, so this is each worker's upload).
+    Coordination traffic (scaler agreement, bitmask sync) is charged in the
+    process group's event log but not counted against the payload ratio.
+    """
 
     iterations: int = 0
     raw_bytes: float = 0.0
@@ -77,29 +109,98 @@ class Compressor:
         """Clear statistics and any per-bucket state (error feedback, masks)."""
         self.stats = CompressionStats()
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class CodecCompressor(Compressor):
+    """Aggregate gradients through a codec pipeline (the shared driver).
+
+    Per bucket and iteration the driver
+
+    1. **encodes** every rank's flat gradient through the pipeline into a
+       :class:`WirePayload` (stages coordinate shared scalers/selections and
+       charge those collectives themselves);
+    2. **reduces** the payloads with an all-reduce when they are element-wise
+       summable, otherwise **gathers** them — the collective layer charges the
+       network model from ``payload.nbytes``;
+    3. **decodes** back to the dense average gradient, accumulating gathered
+       payloads into one preallocated buffer (peak memory O(numel)).
+
+    Subclasses may override :meth:`_pipeline_for` to pick the pipeline
+    adaptively per bucket/iteration (PacTrain's stable/fallback switch).
+    """
+
+    def __init__(
+        self,
+        pipeline: Union[Codec, Sequence[Codec], Pipeline],
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        self.pipeline = as_pipeline(pipeline)
+        self.name = name if name is not None else self.pipeline.spec()
+        self.allreduce_compatible = self.pipeline.allreduce_compatible
+        self.lossless = self.pipeline.lossless
+
     # ------------------------------------------------------------------ #
-    # Bookkeeping helpers for subclasses
+    def _pipeline_for(self, bucket: GradBucket, group: ProcessGroup, iteration: int) -> Pipeline:
+        """Pipeline used for this bucket synchronisation (static by default)."""
+        return self.pipeline
+
+    def aggregate(self, bucket: GradBucket, group: ProcessGroup, iteration: int = 0) -> np.ndarray:
+        pipeline = self._pipeline_for(bucket, group, iteration)
+        ctx = EncodeContext(
+            world_size=bucket.world_size,
+            bucket_index=bucket.index,
+            iteration=iteration,
+            group=group,
+        )
+        payloads = pipeline.encode_all(bucket.buffers, ctx)
+
+        # Route on the pipeline's static property; the collective layer still
+        # validates per-payload reducibility, so a stage that wrongly claims
+        # compatibility fails loudly rather than silently gathering.
+        reducible = pipeline.allreduce_compatible
+        if reducible:
+            reduced = group.all_reduce(payloads, average=True)
+            result = pipeline.decode(reduced)
+        else:
+            gathered = group.all_gather(payloads)
+            result = np.zeros(bucket.numel, dtype=np.float64)
+            for payload in gathered:
+                np.add(result, pipeline.decode(payload), out=result)
+            result /= bucket.world_size
+
+        self._record(bucket, payloads, used_allgather=not reducible)
+        return result
+
+    def reset(self) -> None:
+        super().reset()
+        self.pipeline.reset()
+
     # ------------------------------------------------------------------ #
     def _record(
         self,
         bucket: GradBucket,
-        wire_bytes_per_element: float,
-        payload_elements: Optional[int] = None,
-        used_allgather: bool = False,
+        payloads: Sequence[WirePayload],
+        used_allgather: bool,
     ) -> None:
-        elements = bucket.numel if payload_elements is None else payload_elements
         self.stats.iterations += 1
         self.stats.raw_bytes += bucket.numel * FP32_BYTES
-        self.stats.wire_bytes += elements * wire_bytes_per_element
+        self.stats.wire_bytes += max(payload.nbytes for payload in payloads)
         if used_allgather:
             self.stats.allgather_calls += 1
         else:
             self.stats.allreduce_calls += 1
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"{type(self).__name__}(name={self.name!r})"
-
 
 def exact_average(buffers: List[np.ndarray]) -> np.ndarray:
-    """Reference (lossless) average used by tests and error computations."""
-    return np.mean(np.stack(buffers), axis=0)
+    """Reference (lossless) average used by tests and error computations.
+
+    Shares the collective layer's rank-by-rank accumulation, so peak memory is
+    O(numel) rather than the O(world x numel) of a stack-then-mean — and the
+    reference stays numerically identical to what the collectives compute.
+    """
+    from repro.comm.collectives import accumulate_sum  # noqa: PLC0415
+
+    return accumulate_sum(buffers) / len(buffers)

@@ -1,0 +1,174 @@
+"""Codec pipelines: ordered stage composition plus spec-string parsing.
+
+``Pipeline([TopK(0.01), Ternarize()])`` encodes a flat gradient through every
+stage left-to-right and decodes the (reduced or gathered) payload right-to-left
+back into a dense tensor.  ``parse_codec_spec("topk0.01+terngrad")`` builds the
+same pipeline from the ``+``-separated spec strings used by
+:class:`repro.simulation.experiment.MethodSpec` and the compressor registry.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.compression.codec.payloads import DensePayload, WirePayload, as_payload
+from repro.compression.codec.stages import (
+    Codec,
+    DGCSelect,
+    EncodeContext,
+    Half,
+    Identity,
+    RandomK,
+    Ternarize,
+    TopK,
+)
+
+
+class Pipeline(Codec):
+    """A left-to-right composition of codec stages.
+
+    The pipeline is itself a :class:`Codec`, so pipelines nest and ``a + b``
+    concatenates.  ``encode`` / ``encode_all`` start from the raw flat gradient
+    (wrapped into a :class:`DensePayload`); ``decode`` returns the dense
+    ``np.ndarray`` the training loop applies.
+    """
+
+    def __init__(self, stages: Sequence[Codec]) -> None:
+        flat: List[Codec] = []
+        for stage in stages:
+            if isinstance(stage, Pipeline):
+                flat.extend(stage.stages)
+            else:
+                flat.append(stage)
+        if not flat:
+            flat = [Identity()]
+        self.stages: List[Codec] = flat
+        self.name = self.spec()
+
+    # ------------------------------------------------------------------ #
+    # Aggregate properties
+    # ------------------------------------------------------------------ #
+    @property
+    def allreduce_compatible(self) -> bool:  # type: ignore[override]
+        return all(stage.allreduce_compatible for stage in self.stages)
+
+    @property
+    def lossless(self) -> bool:  # type: ignore[override]
+        return all(stage.lossless for stage in self.stages)
+
+    def spec(self) -> str:
+        return "+".join(stage.spec() for stage in self.stages)
+
+    # ------------------------------------------------------------------ #
+    # Encode / decode
+    # ------------------------------------------------------------------ #
+    def encode_all(
+        self,
+        flats: Sequence[Union[np.ndarray, WirePayload]],
+        ctx: Optional[EncodeContext] = None,
+    ) -> List[WirePayload]:
+        """Encode every rank's flat gradient into its wire payload.
+
+        Stages run strictly in order; each stage first sees all ranks' inputs
+        (:meth:`Codec.prepare`, for shared scalers/selections), then encodes
+        rank by rank.
+        """
+        if ctx is None:
+            ctx = EncodeContext(world_size=len(flats))
+        payloads = [as_payload(flat) for flat in flats]
+        for stage in self.stages:
+            stage.prepare(payloads, ctx)
+            payloads = [stage.encode(p, ctx, rank=rank) for rank, p in enumerate(payloads)]
+        return payloads
+
+    def encode(self, flat, ctx: Optional[EncodeContext] = None) -> WirePayload:
+        """Encode a single flat gradient (convenience wrapper, world size 1).
+
+        Runs a fresh single-rank ``prepare`` on every call — intended for
+        stateless use (tests, inspection).  Multi-rank training encodes all
+        ranks together through :meth:`encode_all`; there is deliberately no
+        ``rank`` parameter here, so per-rank misuse fails loudly.
+        """
+        return self.encode_all([flat], ctx)[0]
+
+    def decode(self, payload: WirePayload) -> np.ndarray:  # type: ignore[override]
+        """Map a payload back to the dense flat gradient it encodes."""
+        for stage in reversed(self.stages):
+            payload = stage.decode(payload)
+        if not isinstance(payload, DensePayload):
+            raise TypeError(
+                f"pipeline {self.spec()!r} decoded to {type(payload).__name__}, "
+                "expected a DensePayload — a stage is missing its decode"
+            )
+        return np.asarray(payload.values, dtype=np.float64)
+
+    def reset(self) -> None:
+        for stage in self.stages:
+            stage.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Pipeline({self.spec()!r})"
+
+
+def as_pipeline(codec: Union[Codec, Sequence[Codec]]) -> Pipeline:
+    """Normalise a stage, stage list or pipeline into a :class:`Pipeline`."""
+    if isinstance(codec, Pipeline):
+        return codec
+    if isinstance(codec, Codec):
+        return Pipeline([codec])
+    return Pipeline(list(codec))
+
+
+# --------------------------------------------------------------------------- #
+# Spec-string parsing
+# --------------------------------------------------------------------------- #
+#: token -> stage factory; a trailing number (``topk0.01``, ``randomk-0.1``)
+#: is parsed as the stage's ratio.
+_STAGE_FACTORIES: Dict[str, Callable[..., Codec]] = {
+    "fp32": lambda ratio=None: Identity(),
+    "none": lambda ratio=None: Identity(),
+    "identity": lambda ratio=None: Identity(),
+    "allreduce": lambda ratio=None: Identity(),
+    "all-reduce": lambda ratio=None: Identity(),
+    "fp16": lambda ratio=None: Half(),
+    "half": lambda ratio=None: Half(),
+    "topk": lambda ratio=None: TopK(ratio if ratio is not None else 0.1),
+    "randomk": lambda ratio=None: RandomK(ratio if ratio is not None else 0.1),
+    "dgc": lambda ratio=None: DGCSelect(ratio if ratio is not None else 0.01),
+    "terngrad": lambda ratio=None: Ternarize(),
+    "ternary": lambda ratio=None: Ternarize(),
+}
+
+#: Parameterised tokens: a stage name followed by a ratio (``topk0.01``,
+#: ``randomk-0.1``, ``dgc-0.01``).
+_PARAM_TOKEN = re.compile(r"^(?P<stage>topk|randomk|dgc)-?(?P<ratio>\d*\.?\d+)$")
+
+
+def parse_codec_token(token: str) -> Codec:
+    """Parse one stage token (``"topk0.01"``, ``"fp16"``) into a stage."""
+    token = token.strip().lower()
+    factory = _STAGE_FACTORIES.get(token)
+    if factory is not None:
+        return factory()
+    match = _PARAM_TOKEN.match(token)
+    if match is None:
+        raise KeyError(
+            f"unknown codec token {token!r}; expected one of {sorted(_STAGE_FACTORIES)} "
+            "optionally suffixed with a ratio (e.g. 'topk0.01')"
+        )
+    return _STAGE_FACTORIES[match.group("stage")](float(match.group("ratio")))
+
+
+def parse_codec_spec(spec: str) -> Pipeline:
+    """Parse a ``+``-separated codec spec string into a :class:`Pipeline`.
+
+    Examples: ``"allreduce"``, ``"fp16"``, ``"topk0.01"``, ``"dgc-0.01"``,
+    ``"topk0.01+terngrad"``, ``"randomk0.1+fp16"``.
+    """
+    tokens = [token for token in spec.split("+") if token.strip()]
+    if not tokens:
+        raise KeyError(f"empty codec spec {spec!r}")
+    return Pipeline([parse_codec_token(token) for token in tokens])

@@ -1,0 +1,459 @@
+"""Codec stages: composable encode/decode operators over wire payloads.
+
+A :class:`Codec` maps payloads to payloads.  Encoding starts from a
+:class:`~repro.compression.codec.payloads.DensePayload` wrapping one rank's
+flat bucket gradient and may shrink it (sparsify, quantise, cast); decoding
+reverses the chain back to a dense tensor.  Stages compose left-to-right via
+:class:`~repro.compression.codec.pipeline.Pipeline` — e.g.
+``Pipeline([TopK(0.01), Ternarize()])`` selects the top 1 % coordinates and
+then ternarises the selected values, which is the paper's prune+TernGrad
+composition (§III.D) expressed as two independent operators.
+
+Cross-rank coordination (shared scalers, shared random selections, batched
+top-k selection across ranks) happens in :meth:`Codec.prepare`, which sees all
+ranks' stage inputs at once and may issue collectives through the encode
+context's process group so the cost model charges them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.compression.codec.payloads import (
+    DensePayload,
+    FP16_BYTES,
+    HalfPayload,
+    SparsePayload,
+    TERNARY_BYTES,
+    TernaryPayload,
+    WirePayload,
+    pack_ternary,
+)
+
+
+@dataclass
+class EncodeContext:
+    """Per-aggregation context shared by every stage of a pipeline.
+
+    ``group`` is the process group coordination collectives are issued through
+    (``None`` runs codecs standalone, e.g. in unit tests, skipping the
+    collectives but computing the same shared quantities locally).  ``shared``
+    is scratch space where :meth:`Codec.prepare` deposits per-aggregation
+    results (selections, scalers) for the subsequent ``encode`` calls.
+    """
+
+    world_size: int = 1
+    bucket_index: int = 0
+    iteration: int = 0
+    group: Optional[object] = None
+    shared: Dict = field(default_factory=dict)
+
+
+class Codec:
+    """One encode/decode stage of a compression pipeline."""
+
+    name: str = "codec"
+    #: Whether encoded payloads from different ranks are element-wise summable.
+    allreduce_compatible: bool = True
+    #: Whether decode(encode(x)) == x exactly.
+    lossless: bool = False
+
+    def prepare(self, inputs: List[WirePayload], ctx: EncodeContext) -> None:
+        """Cross-rank coordination before encoding (default: none)."""
+
+    def encode(self, payload: WirePayload, ctx: EncodeContext, rank: int = 0) -> WirePayload:
+        raise NotImplementedError
+
+    def decode(self, payload: WirePayload) -> WirePayload:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear per-bucket state (error feedback, momentum, RNG)."""
+
+    def spec(self) -> str:
+        """Registry spec token for this stage (inverse of ``parse_codec_spec``)."""
+        return self.name
+
+    def __add__(self, other: "Codec"):
+        from repro.compression.codec.pipeline import Pipeline  # noqa: PLC0415
+
+        return Pipeline([self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.spec()!r})"
+
+
+def _dense_input(payload: WirePayload, stage: str) -> np.ndarray:
+    if not isinstance(payload, DensePayload):
+        raise TypeError(
+            f"{stage} must be the first stage of a pipeline (it selects dense "
+            f"coordinates), got upstream payload {type(payload).__name__}"
+        )
+    return np.asarray(payload.values, dtype=np.float64)
+
+
+# --------------------------------------------------------------------------- #
+# Selection helpers (vectorised across ranks)
+# --------------------------------------------------------------------------- #
+def top_k_indices(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest-magnitude entries of a 1-D array."""
+    if k >= values.size:
+        return np.arange(values.size)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    return np.argpartition(np.abs(values), values.size - k)[values.size - k:]
+
+
+def batched_top_k_indices(matrix: np.ndarray, k: int) -> np.ndarray:
+    """Per-row indices of the ``k`` largest-magnitude entries of a 2-D array.
+
+    One O(rows × n) ``argpartition`` over the stacked (world, numel) matrix
+    replaces the per-rank selection loop; each row's result selects the same
+    coordinate *set* as :func:`top_k_indices` on that row.
+    """
+    rows, numel = matrix.shape
+    if k >= numel:
+        return np.tile(np.arange(numel), (rows, 1))
+    if k <= 0:
+        return np.empty((rows, 0), dtype=np.int64)
+    return np.argpartition(np.abs(matrix), numel - k, axis=1)[:, numel - k:]
+
+
+# --------------------------------------------------------------------------- #
+# Stages
+# --------------------------------------------------------------------------- #
+class Identity(Codec):
+    """No-op codec: dense fp32 on the wire (the all-reduce baseline)."""
+
+    name = "fp32"
+    lossless = True
+
+    def encode(self, payload: WirePayload, ctx: EncodeContext, rank: int = 0) -> WirePayload:
+        return payload
+
+    def decode(self, payload: WirePayload) -> WirePayload:
+        return payload
+
+
+class Half(Codec):
+    """Cast values to fp16 (2 bytes per element on the wire)."""
+
+    name = "fp16"
+    lossless = False
+
+    def encode(self, payload: WirePayload, ctx: EncodeContext, rank: int = 0) -> WirePayload:
+        if isinstance(payload, DensePayload):
+            return HalfPayload(payload.values.astype(np.float16))
+        if isinstance(payload, SparsePayload):
+            halved = payload.values.astype(np.float16).astype(np.float64)
+            return SparsePayload(
+                payload.indices, halved, payload.numel,
+                value_bytes=FP16_BYTES,
+                indices_on_wire=payload.indices_on_wire,
+                shared_selection=payload.shared_selection,
+            )
+        raise TypeError(f"cannot cast {type(payload).__name__} to fp16")
+
+    def decode(self, payload: WirePayload) -> WirePayload:
+        if isinstance(payload, HalfPayload):
+            return DensePayload(payload.reduce_values())
+        return payload
+
+
+class TopK(Codec):
+    """Per-rank top-k magnitude selection with optional error feedback.
+
+    Every rank selects a different coordinate set, so encoded payloads are not
+    summable and aggregation must use all-gather — the all-reduce
+    incompatibility the paper's Table 1 flags for TopK/DGC.
+    """
+
+    allreduce_compatible = False
+    lossless = False
+
+    def __init__(self, ratio: float = 0.1, error_feedback: bool = True) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("ratio must be in (0, 1]")
+        self.ratio = ratio
+        self.error_feedback = error_feedback
+        self.name = f"topk{ratio:g}"
+        # residuals[bucket_index] -> (world, numel) unsent gradient mass
+        self._residuals: Dict[int, np.ndarray] = {}
+
+    def reset(self) -> None:
+        self._residuals.clear()
+
+    def prepare(self, inputs: List[WirePayload], ctx: EncodeContext) -> None:
+        matrix = np.stack([_dense_input(p, "TopK") for p in inputs])
+        numel = matrix.shape[1]
+        k = max(1, int(round(numel * self.ratio)))
+
+        if self.error_feedback:
+            residual = self._residuals.get(ctx.bucket_index)
+            if residual is not None and residual.shape == matrix.shape:
+                matrix = matrix + residual
+
+        indices = batched_top_k_indices(matrix, k)
+        values = np.take_along_axis(matrix, indices, axis=1)
+
+        if self.error_feedback:
+            residual = matrix.copy()
+            np.put_along_axis(residual, indices, 0.0, axis=1)
+            self._residuals[ctx.bucket_index] = residual
+
+        ctx.shared[id(self)] = (indices, values, numel)
+
+    def encode(self, payload: WirePayload, ctx: EncodeContext, rank: int = 0) -> WirePayload:
+        indices, values, numel = ctx.shared[id(self)]
+        return SparsePayload(
+            indices[rank], values[rank], numel,
+            indices_on_wire=True, shared_selection=False,
+        )
+
+    def decode(self, payload: WirePayload) -> WirePayload:
+        if isinstance(payload, SparsePayload):
+            return DensePayload(payload.densify())
+        return payload
+
+
+class RandomK(Codec):
+    """Shared-seed random-k selection: summable, indices never hit the wire."""
+
+    allreduce_compatible = True
+    lossless = False
+
+    def __init__(self, ratio: float = 0.1, seed: int = 0, rescale: bool = True) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("ratio must be in (0, 1]")
+        self.ratio = ratio
+        self.seed = seed
+        self.rescale = rescale
+        self.name = f"randomk{ratio:g}"
+
+    def prepare(self, inputs: List[WirePayload], ctx: EncodeContext) -> None:
+        numel = inputs[0].num_elements
+        k = max(1, int(round(numel * self.ratio)))
+        rng = np.random.default_rng(self.seed + 1_000_003 * ctx.bucket_index + ctx.iteration)
+        ctx.shared[id(self)] = (rng.choice(numel, size=k, replace=False), numel)
+
+    def encode(self, payload: WirePayload, ctx: EncodeContext, rank: int = 0) -> WirePayload:
+        indices, numel = ctx.shared[id(self)]
+        values = _dense_input(payload, "RandomK")[indices]
+        return SparsePayload(
+            indices, values, numel,
+            indices_on_wire=False, shared_selection=True,
+        )
+
+    def decode(self, payload: WirePayload) -> WirePayload:
+        if isinstance(payload, SparsePayload):
+            dense = payload.densify()
+            if self.rescale and payload.values.size:
+                # Unbiased estimate of the dense average gradient.
+                dense *= payload.numel / payload.values.size
+            return DensePayload(dense)
+        return payload
+
+
+class MaskCompact(Codec):
+    """Pack the coordinates of a shared bitmask into a short dense tensor.
+
+    The mask order is identical on every rank (it comes from a synchronised
+    bitmask), so compacted payloads are element-wise summable — PacTrain's
+    "masked assignment" (Fig. 2) as a standalone codec stage.  Lossless with
+    respect to the masked gradient.
+    """
+
+    allreduce_compatible = True
+    lossless = True
+    name = "compact"
+
+    def __init__(self) -> None:
+        # Selected indices per bucket, updated by the owner (PacTrain) whenever
+        # the tracked mask changes.
+        self._indices: Dict[int, np.ndarray] = {}
+
+    def set_mask(self, bucket_index: int, mask: np.ndarray) -> None:
+        self._indices[bucket_index] = np.flatnonzero(np.asarray(mask, dtype=bool))
+
+    def reset(self) -> None:
+        self._indices.clear()
+
+    def encode(self, payload: WirePayload, ctx: EncodeContext, rank: int = 0) -> WirePayload:
+        indices = self._indices.get(ctx.bucket_index)
+        if indices is None:
+            raise RuntimeError(
+                f"MaskCompact has no mask for bucket {ctx.bucket_index}; call set_mask first"
+            )
+        values = _dense_input(payload, "MaskCompact")
+        return SparsePayload(
+            indices, values[indices], values.size,
+            indices_on_wire=False, shared_selection=True,
+        )
+
+    def decode(self, payload: WirePayload) -> WirePayload:
+        if isinstance(payload, SparsePayload):
+            return DensePayload(payload.densify())
+        return payload
+
+
+class Ternarize(Codec):
+    """TernGrad stochastic ternary quantisation (Wen et al., 2017).
+
+    ``prepare`` clips each rank's values (±``clip_sigma`` standard deviations),
+    agrees on the shared scale ``s = max_r max_i |v_i|`` — modeled as a tiny
+    one-element all-reduce, charged to the network — and ``encode`` rounds each
+    value to ``s * {-1, 0, +1}`` with probability ``|v| / s``, which keeps the
+    quantised gradient unbiased in expectation (the paper's Eq. (3)).
+    """
+
+    lossless = False
+    name = "terngrad"
+
+    def __init__(self, seed: int = 0, clip_sigma: Optional[float] = 2.5) -> None:
+        self.seed = seed
+        self.clip_sigma = clip_sigma
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def _clip(self, values: np.ndarray) -> np.ndarray:
+        if self.clip_sigma is None or values.size == 0:
+            return values
+        sigma = float(np.std(values))
+        if sigma == 0.0:
+            return values
+        bound = self.clip_sigma * sigma
+        return np.clip(values, -bound, bound)
+
+    @staticmethod
+    def _values_of(payload: WirePayload) -> np.ndarray:
+        if isinstance(payload, (DensePayload, SparsePayload)):
+            return np.asarray(payload.values, dtype=np.float64)
+        if isinstance(payload, HalfPayload):
+            return payload.reduce_values()
+        raise TypeError(f"cannot ternarise {type(payload).__name__}")
+
+    def prepare(self, inputs: List[WirePayload], ctx: EncodeContext) -> None:
+        clipped = [self._clip(self._values_of(p)) for p in inputs]
+        if all(values.size == 0 for values in clipped):
+            ctx.shared[id(self)] = (clipped, 0.0)
+            return
+        maxima = [float(np.max(np.abs(v))) if v.size else 0.0 for v in clipped]
+        if ctx.group is not None:
+            # Scaler agreement: one fp32 scalar per rank, max-reduced.  The
+            # collective is issued for its modeled cost; the shared maximum is
+            # computed locally (the simulation holds every rank in-process).
+            ctx.group.all_reduce(
+                [DensePayload(np.array([m])) for m in maxima], average=False
+            )
+        ctx.shared[id(self)] = (clipped, max(maxima))
+
+    def encode(self, payload: WirePayload, ctx: EncodeContext, rank: int = 0) -> WirePayload:
+        clipped, scale = ctx.shared[id(self)]
+        values = clipped[rank]
+        if scale == 0.0:
+            codes = np.zeros(values.size, dtype=np.int8)
+        else:
+            probability = np.clip(np.abs(values) / scale, 0.0, 1.0)
+            keep = self._rng.random(values.shape) < probability
+            codes = (np.sign(values) * keep).astype(np.int8)
+        if isinstance(payload, SparsePayload):
+            return SparsePayload(
+                payload.indices, scale * codes.astype(np.float64), payload.numel,
+                value_bytes=TERNARY_BYTES,
+                indices_on_wire=payload.indices_on_wire,
+                shared_selection=payload.shared_selection,
+            )
+        return TernaryPayload(packed=pack_ternary(codes), scale=scale, size=values.size)
+
+    def decode(self, payload: WirePayload) -> WirePayload:
+        if isinstance(payload, TernaryPayload):
+            return DensePayload(payload.reduce_values())
+        return payload
+
+
+class DGCSelect(Codec):
+    """Deep Gradient Compression selection (Lin et al., 2018).
+
+    Momentum correction and local gradient accumulation run vectorised over a
+    (world, numel) matrix per bucket; the top-k selection over the accumulated
+    buffers is a single batched ``argpartition``.  Like :class:`TopK` the
+    per-rank selections differ, so aggregation uses all-gather.
+    """
+
+    allreduce_compatible = False
+    lossless = False
+
+    def __init__(
+        self,
+        ratio: float = 0.01,
+        momentum: float = 0.9,
+        clip_norm: Optional[float] = None,
+    ) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("ratio must be in (0, 1]")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.ratio = ratio
+        self.momentum = momentum
+        self.clip_norm = clip_norm
+        self.name = f"dgc{ratio:g}"
+        # Per-bucket (world, numel) momentum (u) and accumulation (v) buffers.
+        self._momentum: Dict[int, np.ndarray] = {}
+        self._accum: Dict[int, np.ndarray] = {}
+
+    def reset(self) -> None:
+        self._momentum.clear()
+        self._accum.clear()
+
+    def _clip_rows(self, matrix: np.ndarray) -> np.ndarray:
+        if self.clip_norm is None:
+            return matrix
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        factors = np.where(norms > self.clip_norm, self.clip_norm / np.maximum(norms, 1e-30), 1.0)
+        return matrix * factors
+
+    def prepare(self, inputs: List[WirePayload], ctx: EncodeContext) -> None:
+        matrix = self._clip_rows(np.stack([_dense_input(p, "DGC") for p in inputs]))
+        numel = matrix.shape[1]
+        k = max(1, int(round(numel * self.ratio)))
+
+        momentum = self._momentum.get(ctx.bucket_index)
+        accum = self._accum.get(ctx.bucket_index)
+        if momentum is None or momentum.shape != matrix.shape:
+            momentum = np.zeros_like(matrix)
+        if accum is None or accum.shape != matrix.shape:
+            accum = np.zeros_like(matrix)
+
+        # Momentum correction: accumulate velocity locally, then accumulate the
+        # velocity into the unsent-gradient buffer.
+        momentum = self.momentum * momentum + matrix
+        accum = accum + momentum
+
+        indices = batched_top_k_indices(accum, k)
+        values = np.take_along_axis(accum, indices, axis=1)
+
+        # Clear the transmitted coordinates from both buffers (momentum factor
+        # masking from the DGC paper).
+        np.put_along_axis(accum, indices, 0.0, axis=1)
+        np.put_along_axis(momentum, indices, 0.0, axis=1)
+        self._momentum[ctx.bucket_index] = momentum
+        self._accum[ctx.bucket_index] = accum
+
+        ctx.shared[id(self)] = (indices, values, numel)
+
+    def encode(self, payload: WirePayload, ctx: EncodeContext, rank: int = 0) -> WirePayload:
+        indices, values, numel = ctx.shared[id(self)]
+        return SparsePayload(
+            indices[rank], values[rank], numel,
+            indices_on_wire=True, shared_selection=False,
+        )
+
+    def decode(self, payload: WirePayload) -> WirePayload:
+        if isinstance(payload, SparsePayload):
+            return DensePayload(payload.densify())
+        return payload

@@ -4,8 +4,13 @@ DGC combines aggressive top-k sparsification (99%+ sparsity) with four
 techniques that preserve accuracy: momentum correction, local gradient
 accumulation (error feedback on the momentum-corrected gradient), gradient
 clipping and masking of stale momentum.  Like plain top-k it exchanges
-per-rank (index, value) pairs and is therefore *not* all-reduce compatible —
-the property the PacTrain paper's Table 1 records.
+per-rank (index, value) sparse payloads and is therefore *not* all-reduce
+compatible — the property the PacTrain paper's Table 1 records.
+
+The momentum/accumulation state lives in the
+:class:`~repro.compression.codec.stages.DGCSelect` stage as one
+(world, numel) matrix per bucket, so the correction and the top-k selection
+both run as single vectorised operations across all ranks.
 """
 
 from __future__ import annotations
@@ -14,17 +19,12 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.comm.process_group import ProcessGroup
-from repro.compression.base import Compressor, FP32_BYTES, INDEX_BYTES
-from repro.compression.topk import top_k_indices
-from repro.ddp.bucket import GradBucket
+from repro.compression.base import CodecCompressor
+from repro.compression.codec import DGCSelect, Pipeline
 
 
-class DGCCompressor(Compressor):
+class DGCCompressor(CodecCompressor):
     """Deep Gradient Compression with momentum correction and accumulation."""
-
-    allreduce_compatible = False
-    lossless = False
 
     def __init__(
         self,
@@ -32,80 +32,25 @@ class DGCCompressor(Compressor):
         momentum: float = 0.9,
         clip_norm: Optional[float] = None,
     ) -> None:
-        super().__init__()
-        if not 0.0 < ratio <= 1.0:
-            raise ValueError("ratio must be in (0, 1]")
-        if not 0.0 <= momentum < 1.0:
-            raise ValueError("momentum must be in [0, 1)")
-        self.ratio = ratio
-        self.momentum = momentum
-        self.clip_norm = clip_norm
-        self.name = f"dgc-{ratio:g}"
-        # Per (bucket, rank) momentum (u) and accumulation (v) buffers.
-        self._momentum_buf: Dict[tuple, np.ndarray] = {}
-        self._accum_buf: Dict[tuple, np.ndarray] = {}
+        self._stage = DGCSelect(ratio=ratio, momentum=momentum, clip_norm=clip_norm)
+        super().__init__(Pipeline([self._stage]), name=f"dgc-{ratio:g}")
 
-    def reset(self) -> None:
-        super().reset()
-        self._momentum_buf.clear()
-        self._accum_buf.clear()
+    @property
+    def ratio(self) -> float:
+        return self._stage.ratio
 
-    def _clip(self, grad: np.ndarray) -> np.ndarray:
-        if self.clip_norm is None:
-            return grad
-        norm = float(np.linalg.norm(grad))
-        if norm <= self.clip_norm or norm == 0.0:
-            return grad
-        return grad * (self.clip_norm / norm)
+    @property
+    def momentum(self) -> float:
+        return self._stage.momentum
 
-    def aggregate(self, bucket: GradBucket, group: ProcessGroup, iteration: int = 0) -> np.ndarray:
-        numel = bucket.numel
-        world_size = bucket.world_size
-        k = max(1, int(round(numel * self.ratio)))
+    @property
+    def clip_norm(self) -> Optional[float]:
+        return self._stage.clip_norm
 
-        per_rank_values = []
-        per_rank_indices = []
-        for rank, flat in enumerate(bucket.buffers):
-            key = (bucket.index, rank)
-            grad = self._clip(flat)
+    @property
+    def _momentum_buf(self) -> Dict[int, np.ndarray]:
+        return self._stage._momentum
 
-            momentum = self._momentum_buf.get(key)
-            if momentum is None:
-                momentum = np.zeros(numel, dtype=np.float64)
-            accum = self._accum_buf.get(key)
-            if accum is None:
-                accum = np.zeros(numel, dtype=np.float64)
-
-            # Momentum correction: accumulate velocity locally, then accumulate
-            # the velocity into the unsent-gradient buffer.
-            momentum = self.momentum * momentum + grad
-            accum = accum + momentum
-
-            indices = top_k_indices(accum, k)
-            values = accum[indices]
-
-            # Clear the transmitted coordinates from both buffers
-            # (momentum factor masking from the DGC paper).
-            accum[indices] = 0.0
-            momentum[indices] = 0.0
-
-            self._momentum_buf[key] = momentum
-            self._accum_buf[key] = accum
-            per_rank_values.append(values)
-            per_rank_indices.append(indices)
-
-        payload = [values.astype(np.float64) for values in per_rank_values]
-        group.all_gather(payload, element_bytes=FP32_BYTES + INDEX_BYTES)
-
-        aggregated = np.zeros(numel, dtype=np.float64)
-        for values, indices in zip(per_rank_values, per_rank_indices):
-            np.add.at(aggregated, indices, values)
-        aggregated /= world_size
-
-        self._record(
-            bucket,
-            wire_bytes_per_element=FP32_BYTES + INDEX_BYTES,
-            payload_elements=k,
-            used_allgather=True,
-        )
-        return aggregated
+    @property
+    def _accum_buf(self) -> Dict[int, np.ndarray]:
+        return self._stage._accum

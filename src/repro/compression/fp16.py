@@ -3,27 +3,18 @@
 The paper uses fp16 as the representative quantisation baseline ("most
 gradient compression algorithms perform similarly to FP16", §IV.C.1): values
 are cast to fp16 before the all-reduce, halving the bytes on the wire at the
-cost of rounding error.
+cost of rounding error.  Implemented as a one-stage codec pipeline producing
+:class:`~repro.compression.codec.payloads.HalfPayload` wire payloads.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.comm.process_group import ProcessGroup
-from repro.compression.base import Compressor, FP16_BYTES
-from repro.ddp.bucket import GradBucket
+from repro.compression.base import CodecCompressor
+from repro.compression.codec import Half, Pipeline
 
 
-class FP16Compressor(Compressor):
+class FP16Compressor(CodecCompressor):
     """Cast gradients to fp16, all-reduce, cast back."""
 
-    name = "fp16"
-    allreduce_compatible = True
-    lossless = False
-
-    def aggregate(self, bucket: GradBucket, group: ProcessGroup, iteration: int = 0) -> np.ndarray:
-        halved = [buf.astype(np.float16).astype(np.float64) for buf in bucket.buffers]
-        result = group.all_reduce(halved, average=True, element_bytes=FP16_BYTES)
-        self._record(bucket, FP16_BYTES)
-        return result
+    def __init__(self) -> None:
+        super().__init__(Pipeline([Half()]), name="fp16")

@@ -2,21 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.comm.process_group import ProcessGroup
-from repro.compression.base import Compressor, FP32_BYTES
-from repro.ddp.bucket import GradBucket
+from repro.compression.base import CodecCompressor
+from repro.compression.codec import Identity, Pipeline
 
 
-class NoCompression(Compressor):
+class NoCompression(CodecCompressor):
     """Aggregate gradients with a plain fp32 all-reduce."""
 
-    name = "allreduce"
-    allreduce_compatible = True
-    lossless = True
-
-    def aggregate(self, bucket: GradBucket, group: ProcessGroup, iteration: int = 0) -> np.ndarray:
-        result = group.all_reduce(bucket.buffers, average=True, element_bytes=FP32_BYTES)
-        self._record(bucket, FP32_BYTES)
-        return result
+    def __init__(self) -> None:
+        super().__init__(Pipeline([Identity()]), name="allreduce")

@@ -1,58 +1,34 @@
 """Random-k sparsification.
 
 A cheaper cousin of top-k: each rank keeps a random subset of coordinates.
-With a seed shared across ranks the selections coincide, making the scheme
-all-reduce compatible, at the cost of dropping (rather than deferring) most of
-the gradient signal.  Included as an additional baseline for the ablation
-benchmarks; not part of the paper's headline comparison.
+With a seed shared across ranks the selections coincide, so the encoded
+:class:`~repro.compression.codec.payloads.SparsePayload`\\ s are element-wise
+summable (all-reduce compatible) and the indices never travel — only the
+selected values are charged to the wire.  Included as an additional baseline
+for the ablation benchmarks; not part of the paper's headline comparison.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
-import numpy as np
-
-from repro.comm.process_group import ProcessGroup
-from repro.compression.base import Compressor, FP32_BYTES, INDEX_BYTES
-from repro.ddp.bucket import GradBucket
+from repro.compression.base import CodecCompressor
+from repro.compression.codec import Pipeline, RandomK
 
 
-class RandomKCompressor(Compressor):
+class RandomKCompressor(CodecCompressor):
     """Shared-seed random-k sparsification with all-reduce aggregation."""
 
-    allreduce_compatible = True
-    lossless = False
-
     def __init__(self, ratio: float = 0.1, seed: int = 0, rescale: bool = True) -> None:
-        super().__init__()
-        if not 0.0 < ratio <= 1.0:
-            raise ValueError("ratio must be in (0, 1]")
-        self.ratio = ratio
-        self.seed = seed
-        self.rescale = rescale
-        self.name = f"randomk-{ratio:g}"
+        self._stage = RandomK(ratio=ratio, seed=seed, rescale=rescale)
+        super().__init__(Pipeline([self._stage]), name=f"randomk-{ratio:g}")
 
-    def _select(self, numel: int, bucket_index: int, iteration: int) -> np.ndarray:
-        k = max(1, int(round(numel * self.ratio)))
-        rng = np.random.default_rng(self.seed + 1_000_003 * bucket_index + iteration)
-        return rng.choice(numel, size=k, replace=False)
+    @property
+    def ratio(self) -> float:
+        return self._stage.ratio
 
-    def aggregate(self, bucket: GradBucket, group: ProcessGroup, iteration: int = 0) -> np.ndarray:
-        numel = bucket.numel
-        indices = self._select(numel, bucket.index, iteration)
-        k = indices.size
+    @property
+    def seed(self) -> int:
+        return self._stage.seed
 
-        # Because the selection is identical on every rank, only the selected
-        # values need to be all-reduced; indices are derived locally.
-        selected = [flat[indices] for flat in bucket.buffers]
-        reduced = group.all_reduce(selected, average=True, element_bytes=FP32_BYTES)
-
-        aggregated = np.zeros(numel, dtype=np.float64)
-        aggregated[indices] = reduced
-        if self.rescale:
-            # Unbiased estimate of the dense average gradient.
-            aggregated *= numel / k
-
-        self._record(bucket, wire_bytes_per_element=FP32_BYTES, payload_elements=k)
-        return aggregated
+    @property
+    def rescale(self) -> bool:
+        return self._stage.rescale

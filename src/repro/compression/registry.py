@@ -1,17 +1,24 @@
-"""Compressor registry.
+"""Compressor registry and codec spec strings.
 
 Benchmark configurations refer to compression schemes by the names used in the
 paper's figures ("all-reduce", "fp16", "topk-0.1", "topk-0.01", "pactrain").
 ``build_compressor`` resolves those names to fresh compressor instances; the
 PacTrain entry is registered lazily to avoid a circular import with
 :mod:`repro.pactrain`.
+
+Beyond the fixed names, any ``+``-separated codec pipeline spec builds a
+compressor on the fly: ``build_compressor("topk0.01+terngrad")`` selects the
+top 1 % coordinates and ternarises the selected values — arbitrary codec
+composition without writing a compressor class (see
+:func:`repro.compression.codec.parse_codec_spec` for the grammar).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.compression.base import Compressor
+from repro.compression.base import CodecCompressor, Compressor
+from repro.compression.codec import parse_codec_spec
 from repro.compression.dgc import DGCCompressor
 from repro.compression.fp16 import FP16Compressor
 from repro.compression.none import NoCompression
@@ -41,14 +48,23 @@ def register_compressor(name: str, factory: CompressorFactory) -> None:
 
 
 def build_compressor(name: str, **kwargs) -> Compressor:
-    """Instantiate a compressor by its registry name.
+    """Instantiate a compressor by registry name or codec pipeline spec.
+
+    Resolution order: registered names first (so the paper's figure names and
+    user registrations win), then ``+``-separated codec specs such as
+    ``"topk0.01+terngrad"`` or ``"randomk0.1+fp16"``.
 
     Raises
     ------
     KeyError
-        If the name is unknown.  The PacTrain compressor is imported lazily so
-        that ``build_compressor("pactrain")`` works without importing
+        If the name is neither registered nor a parseable codec spec.  The
+        PacTrain compressor is imported lazily so that
+        ``build_compressor("pactrain")`` works without importing
         :mod:`repro.pactrain` up front.
+    ValueError
+        If the name parses as a codec spec but a stage parameter is invalid
+        (e.g. ``"topk2"`` — ratio outside ``(0, 1]``); the error names the
+        offending spec.
     """
     key = name.lower()
     if key in ("pactrain", "pactrain-terngrad", "pactrain-fp32") and key not in COMPRESSOR_REGISTRY:
@@ -61,6 +77,21 @@ def build_compressor(name: str, **kwargs) -> Compressor:
         register_compressor(
             "pactrain-fp32", lambda **kw: PacTrainCompressor(quantize=False, **kw)
         )
-    if key not in COMPRESSOR_REGISTRY:
-        raise KeyError(f"unknown compressor {name!r}; registered: {sorted(COMPRESSOR_REGISTRY)}")
-    return COMPRESSOR_REGISTRY[key](**kwargs)
+    if key in COMPRESSOR_REGISTRY:
+        return COMPRESSOR_REGISTRY[key](**kwargs)
+    try:
+        pipeline = parse_codec_spec(key)
+    except KeyError:
+        raise KeyError(
+            f"unknown compressor {name!r}: not a registered name "
+            f"({sorted(COMPRESSOR_REGISTRY)}) and not a codec pipeline spec"
+        ) from None
+    except ValueError as error:
+        raise ValueError(f"invalid codec spec {name!r}: {error}") from error
+    if kwargs:
+        raise TypeError(
+            f"codec spec {name!r} does not accept keyword arguments "
+            f"({sorted(kwargs)}); encode parameters in the spec itself "
+            "(e.g. 'topk0.05') or register a factory under a name"
+        )
+    return CodecCompressor(pipeline, name=key)

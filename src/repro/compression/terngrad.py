@@ -3,12 +3,13 @@
 Each gradient coordinate is stochastically rounded to ``s * {-1, 0, +1}``,
 where ``s`` is the per-bucket maximum magnitude.  The rounding probability
 ``|g_i| / s`` makes the quantised gradient unbiased in expectation (the
-property Eq. (3) of the PacTrain paper relies on), while the payload shrinks to
-~2 bits per element plus one scalar.
+property Eq. (3) of the PacTrain paper relies on), while the wire payload
+shrinks to a packed 2-bit :class:`~repro.compression.codec.payloads.TernaryPayload`.
 
-Aggregation remains all-reduce compatible: ranks first agree on a shared
-scaler via a max-reduction (modeled as a tiny all-reduce), then all-reduce the
-integer ternary values.
+Aggregation remains all-reduce compatible: the
+:class:`~repro.compression.codec.stages.Ternarize` stage first agrees on a
+shared scaler via a max-reduction (modeled as a tiny all-reduce), then the
+driver all-reduces the ternary payloads.
 """
 
 from __future__ import annotations
@@ -17,9 +18,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.comm.process_group import ProcessGroup
-from repro.compression.base import Compressor, FP32_BYTES, TERNARY_BYTES
-from repro.ddp.bucket import GradBucket
+from repro.compression.base import CodecCompressor
+from repro.compression.codec import Pipeline, Ternarize
 
 
 def ternarize(
@@ -28,6 +28,10 @@ def ternarize(
     rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
     """Stochastically quantise ``grad`` to ``scaler * {-1, 0, +1}``.
+
+    Functional form used by tests and ad-hoc callers; training uses the
+    :class:`~repro.compression.codec.stages.Ternarize` codec stage, which adds
+    clipping and shared-scaler agreement.
 
     Parameters
     ----------
@@ -49,44 +53,17 @@ def ternarize(
     return scaler * np.sign(grad) * keep
 
 
-class TernGradCompressor(Compressor):
+class TernGradCompressor(CodecCompressor):
     """Ternary quantisation with shared-scaler all-reduce aggregation."""
 
-    name = "terngrad"
-    allreduce_compatible = True
-    lossless = False
-
     def __init__(self, seed: int = 0, clip_sigma: Optional[float] = 2.5) -> None:
-        super().__init__()
-        self.seed = seed
-        self.clip_sigma = clip_sigma
-        self._rng = np.random.default_rng(seed)
+        self._stage = Ternarize(seed=seed, clip_sigma=clip_sigma)
+        super().__init__(Pipeline([self._stage]), name="terngrad")
 
-    def reset(self) -> None:
-        super().reset()
-        self._rng = np.random.default_rng(self.seed)
+    @property
+    def seed(self) -> int:
+        return self._stage.seed
 
-    def _clip(self, grad: np.ndarray) -> np.ndarray:
-        """Gradient clipping recommended by the TernGrad paper to bound the scaler."""
-        if self.clip_sigma is None or grad.size == 0:
-            return grad
-        sigma = float(np.std(grad))
-        if sigma == 0.0:
-            return grad
-        bound = self.clip_sigma * sigma
-        return np.clip(grad, -bound, bound)
-
-    def aggregate(self, bucket: GradBucket, group: ProcessGroup, iteration: int = 0) -> np.ndarray:
-        clipped = [self._clip(flat) for flat in bucket.buffers]
-
-        # Scaler agreement: one scalar per rank, max-reduced.  The payload is
-        # negligible; we model it as an all-reduce of a single fp32 element.
-        scalers = [np.array([np.max(np.abs(flat))]) if flat.size else np.array([0.0]) for flat in clipped]
-        group.all_reduce(scalers, average=False, element_bytes=FP32_BYTES)
-        shared_scaler = float(max(float(s[0]) for s in scalers))
-
-        ternary = [ternarize(flat, scaler=shared_scaler, rng=self._rng) for flat in clipped]
-        result = group.all_reduce(ternary, average=True, element_bytes=TERNARY_BYTES)
-
-        self._record(bucket, wire_bytes_per_element=TERNARY_BYTES)
-        return result
+    @property
+    def clip_sigma(self) -> Optional[float]:
+        return self._stage.clip_sigma

@@ -2,14 +2,16 @@
 
 Each rank keeps only its ``ratio`` largest-magnitude gradient coordinates.
 Because every rank selects a *different* coordinate set, the payloads cannot be
-summed element-wise — aggregation must go through all-gather of
-(index, value) pairs, which is exactly the incompatibility with all-reduce that
-the paper's Table 1 flags and that causes TopK-0.1 to congest the bottleneck
-link in Fig. 3.
+summed element-wise — the codec driver falls back to an all-gather of
+(index, value) :class:`~repro.compression.codec.payloads.SparsePayload`\\ s,
+which is exactly the incompatibility with all-reduce that the paper's Table 1
+flags and that causes TopK-0.1 to congest the bottleneck link in Fig. 3.
 
 Optionally keeps an error-feedback residual per bucket (the unsent coordinates
 are added back into the next iteration's gradient), which is the standard trick
-for making aggressive sparsification converge.
+for making aggressive sparsification converge.  The selection itself runs as
+one batched ``argpartition`` over the stacked (world, numel) gradient matrix
+(see :func:`repro.compression.codec.stages.batched_top_k_indices`).
 """
 
 from __future__ import annotations
@@ -18,78 +20,29 @@ from typing import Dict
 
 import numpy as np
 
-from repro.comm.process_group import ProcessGroup
-from repro.compression.base import Compressor, FP32_BYTES, INDEX_BYTES
-from repro.ddp.bucket import GradBucket
+from repro.compression.base import CodecCompressor
+from repro.compression.codec import Pipeline, TopK
+
+# Re-exported for callers that select coordinates directly.
+from repro.compression.codec.stages import batched_top_k_indices, top_k_indices  # noqa: F401
 
 
-def top_k_indices(values: np.ndarray, k: int) -> np.ndarray:
-    """Indices of the ``k`` largest-magnitude entries of a 1-D array."""
-    if k >= values.size:
-        return np.arange(values.size)
-    if k <= 0:
-        return np.empty(0, dtype=np.int64)
-    partition = np.argpartition(np.abs(values), values.size - k)[values.size - k :]
-    return partition
-
-
-class TopKCompressor(Compressor):
+class TopKCompressor(CodecCompressor):
     """Per-rank top-k sparsification with all-gather aggregation."""
 
-    allreduce_compatible = False
-    lossless = False
-
     def __init__(self, ratio: float = 0.1, error_feedback: bool = True) -> None:
-        super().__init__()
-        if not 0.0 < ratio <= 1.0:
-            raise ValueError("ratio must be in (0, 1]")
-        self.ratio = ratio
-        self.error_feedback = error_feedback
-        self.name = f"topk-{ratio:g}"
-        # residuals[(bucket_index, rank)] -> unsent gradient mass
-        self._residuals: Dict[tuple, np.ndarray] = {}
+        self._stage = TopK(ratio=ratio, error_feedback=error_feedback)
+        super().__init__(Pipeline([self._stage]), name=f"topk-{ratio:g}")
 
-    def reset(self) -> None:
-        super().reset()
-        self._residuals.clear()
+    @property
+    def ratio(self) -> float:
+        return self._stage.ratio
 
-    def aggregate(self, bucket: GradBucket, group: ProcessGroup, iteration: int = 0) -> np.ndarray:
-        world_size = bucket.world_size
-        numel = bucket.numel
-        k = max(1, int(round(numel * self.ratio)))
+    @property
+    def error_feedback(self) -> bool:
+        return self._stage.error_feedback
 
-        per_rank_values = []
-        per_rank_indices = []
-        for rank, flat in enumerate(bucket.buffers):
-            grad = flat
-            key = (bucket.index, rank)
-            if self.error_feedback:
-                residual = self._residuals.get(key)
-                if residual is not None:
-                    grad = grad + residual
-            indices = top_k_indices(grad, k)
-            values = grad[indices]
-            if self.error_feedback:
-                residual = grad.copy()
-                residual[indices] = 0.0
-                self._residuals[key] = residual
-            per_rank_values.append(values)
-            per_rank_indices.append(indices)
-
-        # Exchange (index, value) pairs: 4 bytes of index + 4 bytes of value
-        # per selected element, via all-gather (k elements per rank).
-        payload = [values.astype(np.float64) for values in per_rank_values]
-        group.all_gather(payload, element_bytes=FP32_BYTES + INDEX_BYTES)
-
-        aggregated = np.zeros(numel, dtype=np.float64)
-        for values, indices in zip(per_rank_values, per_rank_indices):
-            np.add.at(aggregated, indices, values)
-        aggregated /= world_size
-
-        self._record(
-            bucket,
-            wire_bytes_per_element=FP32_BYTES + INDEX_BYTES,
-            payload_elements=k,
-            used_allgather=True,
-        )
-        return aggregated
+    @property
+    def _residuals(self) -> Dict[int, np.ndarray]:
+        """Unsent gradient mass per bucket (one (world, numel) matrix each)."""
+        return self._stage._residuals

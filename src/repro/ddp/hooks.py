@@ -20,9 +20,11 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.comm.process_group import ProcessGroup
+from repro.compression.codec import DensePayload, HalfPayload
 from repro.ddp.bucket import GradBucket
 
-#: Wire sizes used by the cost model.
+#: Wire sizes used by the cost model (re-exported for backwards compatibility;
+#: the payloads carry their own sizes).
 FP32_BYTES = 4
 FP16_BYTES = 2
 
@@ -52,17 +54,21 @@ class HookState:
 
 def allreduce_hook(state: HookState, bucket: GradBucket) -> np.ndarray:
     """Native fp32 ring all-reduce — the paper's "all-reduce" baseline."""
-    return state.process_group.all_reduce(bucket.buffers, average=True, element_bytes=FP32_BYTES)
+    payloads = [DensePayload(buf) for buf in bucket.buffers]
+    reduced = state.process_group.all_reduce(payloads, average=True)
+    return reduced.reduce_values()
 
 
 def fp16_compress_hook(state: HookState, bucket: GradBucket) -> np.ndarray:
     """Half-precision all-reduce — the paper's "fp16" baseline.
 
     Values are cast to fp16 before aggregation (introducing the corresponding
-    rounding error) and the cost model charges two bytes per element.
+    rounding error); the collective layer charges two bytes per element from
+    the :class:`HalfPayload` wire size.
     """
-    halved = [buf.astype(np.float16).astype(np.float64) for buf in bucket.buffers]
-    return state.process_group.all_reduce(halved, average=True, element_bytes=FP16_BYTES)
+    payloads = [HalfPayload(buf.astype(np.float16)) for buf in bucket.buffers]
+    reduced = state.process_group.all_reduce(payloads, average=True)
+    return reduced.reduce_values()
 
 
 class CompressorHook:

@@ -5,20 +5,24 @@ Per gradient bucket and iteration:
 1. the Mask Tracker ingests the union of the ranks' non-zero patterns;
 2. **unstable pattern** → fall back to a full fp32 all-reduce (correctness
    first, exactly as Algorithm 1 line 12 prescribes);
-3. **stable pattern** → every rank packs the non-masked coordinates of its
-   flat gradient into a short dense tensor (Fig. 2's "masked assignment"),
-   the dense tensors are aggregated with a plain all-reduce (optionally after
-   TernGrad quantisation, §III.D), and the result is scattered back into the
-   full-size gradient.
+3. **stable pattern** → the :class:`~repro.compression.codec.stages.MaskCompact`
+   stage packs the non-masked coordinates of every rank into a short dense
+   tensor (Fig. 2's "masked assignment"), optionally composed with a
+   :class:`~repro.compression.codec.stages.Ternarize` stage (§III.D), and the
+   codec driver all-reduces the compact payloads.
 
-Because the packing order is the same on every rank (it is derived from the
-shared mask), the dense tensors are element-wise summable — this is what keeps
-the scheme compatible with the all-reduce primitive while sending only
-``density × numel`` values.  With quantisation disabled the scheme is lossless
-with respect to the masked gradient.
+Since the codec refactor PacTrain is no longer a hand-rolled special case: it
+is a :class:`~repro.compression.base.CodecCompressor` that *selects a
+pipeline per bucket* — ``Identity`` while unstable, ``MaskCompact`` (or
+``MaskCompact + Ternarize``) once stable.  Because the packing order is
+derived from the shared mask, the compact payloads are element-wise summable —
+this is what keeps the scheme compatible with the all-reduce primitive while
+sending only ``density × numel`` values.  With quantisation disabled the
+scheme is lossless with respect to the masked gradient.
 
 A small one-time cost is charged whenever a bucket's mask changes: the bitmask
-itself (1 bit per coordinate) is broadcast so all workers provably agree on the
+itself (a packed :class:`~repro.compression.codec.payloads.BitmaskPayload`,
+one bit per coordinate) is broadcast so all workers provably agree on the
 packing order before compact mode is used.
 """
 
@@ -29,20 +33,20 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.comm.process_group import ProcessGroup
-from repro.compression.base import Compressor, FP32_BYTES, TERNARY_BYTES
-from repro.compression.terngrad import ternarize
+from repro.compression.base import CodecCompressor
+from repro.compression.codec import (
+    BitmaskPayload,
+    Identity,
+    MaskCompact,
+    Pipeline,
+    Ternarize,
+)
 from repro.ddp.bucket import GradBucket
 from repro.pactrain.mask_tracker import MaskTracker
 
-BITMASK_BYTES_PER_ELEMENT = 1.0 / 8.0
 
-
-class PacTrainCompressor(Compressor):
+class PacTrainCompressor(CodecCompressor):
     """Adaptive mask-aware sparse compression, all-reduce compatible."""
-
-    allreduce_compatible = True
-    #: Lossless w.r.t. the masked gradient when quantisation is disabled.
-    lossless = False
 
     def __init__(
         self,
@@ -53,7 +57,6 @@ class PacTrainCompressor(Compressor):
         mask_tracker: Optional[MaskTracker] = None,
         warmup_iterations: int = 0,
     ) -> None:
-        super().__init__()
         if warmup_iterations < 0:
             raise ValueError("warmup_iterations must be >= 0")
         self.tracker = mask_tracker or MaskTracker(
@@ -64,9 +67,22 @@ class PacTrainCompressor(Compressor):
         #: Iterations that always use full synchronisation, regardless of mask
         #: stability (lets the optimiser settle right after pruning).
         self.warmup_iterations = warmup_iterations
-        self._rng = np.random.default_rng(seed)
-        self.name = "pactrain-terngrad" if quantize else "pactrain"
+
+        self._compact = MaskCompact()
+        compact_stages = [self._compact]
+        if quantize:
+            compact_stages.append(Ternarize(seed=seed))
+        self._compact_pipeline = Pipeline(compact_stages)
+        self._full_pipeline = Pipeline([Identity()])
+        super().__init__(
+            self._compact_pipeline,
+            name="pactrain-terngrad" if quantize else "pactrain",
+        )
+        # The fallback pipeline is also all-reduce compatible, and the scheme
+        # is lossless w.r.t. the masked gradient when quantisation is off.
+        self.allreduce_compatible = True
         self.lossless = not quantize
+
         # Per-bucket record of the last mask for which the bitmask sync cost
         # was charged, so the cost is only paid when the mask actually changes.
         self._synced_masks: Dict[int, np.ndarray] = {}
@@ -77,67 +93,26 @@ class PacTrainCompressor(Compressor):
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
         super().reset()
+        self._full_pipeline.reset()
         self.tracker.reset()
         self._synced_masks.clear()
-        self._rng = np.random.default_rng(self.seed)
         self.compact_iterations = 0
         self.full_iterations = 0
 
     # ------------------------------------------------------------------ #
-    def aggregate(self, bucket: GradBucket, group: ProcessGroup, iteration: int = 0) -> np.ndarray:
+    def _pipeline_for(self, bucket: GradBucket, group: ProcessGroup, iteration: int) -> Pipeline:
+        """Algorithm 1's switch: full sync while unstable, compact once stable."""
         state = self.tracker.update_from_rank_gradients(bucket.index, bucket.buffers)
 
         if iteration < self.warmup_iterations or not state.stable:
             self.full_iterations += 1
-            result = group.all_reduce(bucket.buffers, average=True, element_bytes=FP32_BYTES)
-            self._record(bucket, FP32_BYTES)
-            return result
+            return self._full_pipeline
 
         mask = state.mask
         self._maybe_sync_bitmask(bucket, group, mask)
-
-        # Masked assignment (Fig. 2): pack the non-zero coordinates of every
-        # rank into a dense low-dimensional tensor, in shared mask order.
-        compact = [flat[mask] for flat in bucket.buffers]
-        payload_elements = int(mask.sum())
-
-        if self.quantize and payload_elements > 0:
-            # TernGrad on the compacted tensors (§III.D): clip outliers (as the
-            # TernGrad paper recommends) so the shared scaler is not dominated
-            # by a single coordinate, agree on the scaler, then all-reduce the
-            # ternary values at ~2 bits/element.
-            compact = [self._clip(c) for c in compact]
-            scalers = [np.array([np.max(np.abs(c))]) if c.size else np.array([0.0]) for c in compact]
-            group.all_reduce(scalers, average=False, element_bytes=FP32_BYTES)
-            shared_scaler = float(max(float(s[0]) for s in scalers))
-            compact = [ternarize(c, scaler=shared_scaler, rng=self._rng) for c in compact]
-            wire_bytes = TERNARY_BYTES
-        else:
-            wire_bytes = FP32_BYTES
-
-        if payload_elements > 0:
-            reduced = group.all_reduce(compact, average=True, element_bytes=wire_bytes)
-        else:
-            reduced = np.zeros(0, dtype=np.float64)
-
-        aggregated = np.zeros(bucket.numel, dtype=np.float64)
-        aggregated[mask] = reduced
-
+        self._compact.set_mask(bucket.index, mask)
         self.compact_iterations += 1
-        self._record(bucket, wire_bytes, payload_elements=payload_elements)
-        return aggregated
-
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _clip(grad: np.ndarray, sigma: float = 2.5) -> np.ndarray:
-        """Clip to ``±sigma`` standard deviations before ternary quantisation."""
-        if grad.size == 0:
-            return grad
-        std = float(np.std(grad))
-        if std == 0.0:
-            return grad
-        bound = sigma * std
-        return np.clip(grad, -bound, bound)
+        return self._compact_pipeline
 
     # ------------------------------------------------------------------ #
     def _maybe_sync_bitmask(self, bucket: GradBucket, group: ProcessGroup, mask: np.ndarray) -> None:
@@ -145,7 +120,7 @@ class PacTrainCompressor(Compressor):
         previous = self._synced_masks.get(bucket.index)
         if previous is not None and previous.shape == mask.shape and np.array_equal(previous, mask):
             return
-        group.broadcast(mask.astype(np.uint8), element_bytes=BITMASK_BYTES_PER_ELEMENT)
+        group.broadcast(BitmaskPayload.from_mask(mask))
         self._synced_masks[bucket.index] = mask.copy()
         self.stats.extra["bitmask_syncs"] = self.stats.extra.get("bitmask_syncs", 0.0) + 1.0
 

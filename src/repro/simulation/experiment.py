@@ -36,9 +36,12 @@ from repro.tensorlib import Tensor, functional as F, no_grad
 class MethodSpec:
     """One gradient-synchronisation method, as named in the paper's figures.
 
-    ``compressor`` is a registry name (see :mod:`repro.compression.registry`).
-    Pruning-related fields only take effect for methods that prune (PacTrain);
-    the baselines keep the dense model.
+    ``compressor`` is a registry name (see :mod:`repro.compression.registry`)
+    or a ``+``-separated codec pipeline spec such as ``"topk0.01+terngrad"``
+    or ``"randomk0.1+fp16"`` — arbitrary codec compositions run end-to-end
+    without a dedicated compressor class.  Pruning-related fields only take
+    effect for methods that prune (PacTrain); the baselines keep the dense
+    model.
     """
 
     name: str

@@ -218,6 +218,65 @@ class TestDGC:
             DGCCompressor(momentum=1.0)
 
 
+class TestCodecPipelines:
+    def test_spec_parsing_builds_expected_stages(self):
+        from repro.compression.codec import parse_codec_spec
+
+        pipeline = parse_codec_spec("topk0.01+terngrad")
+        assert [type(s).__name__ for s in pipeline.stages] == ["TopK", "Ternarize"]
+        assert pipeline.stages[0].ratio == pytest.approx(0.01)
+        assert not pipeline.allreduce_compatible
+
+        pipeline = parse_codec_spec("randomk0.1+fp16")
+        assert [type(s).__name__ for s in pipeline.stages] == ["RandomK", "Half"]
+        assert pipeline.allreduce_compatible
+
+    def test_malformed_spec_raises(self):
+        from repro.compression.codec import parse_codec_spec
+
+        with pytest.raises(KeyError):
+            parse_codec_spec("topk0.01+nosuchstage")
+        with pytest.raises(KeyError):
+            parse_codec_spec("")
+
+    def test_composed_topk_terngrad_aggregates_on_selection_support(self, buffers, group):
+        compressor = build_compressor("topk0.01+terngrad")
+        result = compressor.aggregate(make_bucket(buffers), group)
+        assert result.shape == buffers[0].shape
+        # Union of 4 ranks' 1% selections: at most 4% of coordinates non-zero.
+        assert np.mean(result != 0) <= 0.04 + 1e-9
+        assert compressor.stats.allgather_calls == 1
+
+    def test_composed_randomk_fp16_close_to_randomk(self, buffers, group):
+        plain = RandomKCompressor(ratio=0.2).aggregate(make_bucket(buffers), group)
+        composed = build_compressor("randomk0.2+fp16")
+        casted = composed.aggregate(make_bucket(buffers), ProcessGroup(4))
+        # Same shared-seed selection; fp16-casting the selected values only
+        # adds rounding error.
+        assert nmse(plain, casted) < 1e-5
+
+    def test_wire_bytes_derived_from_payloads(self, buffers, group):
+        """Composed pipeline wire bytes follow the encoded payload structure."""
+        compressor = build_compressor("topk0.1+fp16")
+        compressor.aggregate(make_bucket(buffers), group)
+        numel = buffers[0].size
+        k = max(1, int(round(numel * 0.1)))
+        # Sparse payload with indices on the wire and fp16 values.
+        assert compressor.stats.wire_bytes == pytest.approx(k * (4.0 + 2.0))
+
+    def test_stats_events_charge_payload_bytes(self, buffers):
+        from repro.compression.codec import SparsePayload
+
+        group = ProcessGroup(4)
+        compressor = TopKCompressor(ratio=0.1, error_feedback=False)
+        compressor.aggregate(make_bucket(buffers), group)
+        event = group.events[-1]
+        numel = buffers[0].size
+        k = max(1, int(round(numel * 0.1)))
+        assert event.metadata["payload"] == SparsePayload.__name__
+        assert event.bytes_per_worker == pytest.approx((4 - 1) * k * 8.0)
+
+
 class TestRegistry:
     @pytest.mark.parametrize(
         "name", ["allreduce", "fp16", "topk-0.1", "topk-0.01", "terngrad", "dgc", "randomk"]

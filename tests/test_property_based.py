@@ -9,6 +9,28 @@ from hypothesis.extra import numpy as hnp
 
 from repro.comm import ProcessGroup, all_reduce, NetworkModel
 from repro.comm.network import LinkSpec
+from repro.compression.base import exact_average
+from repro.compression.codec import (
+    BitmaskPayload,
+    DensePayload,
+    FP16_BYTES,
+    FP32_BYTES,
+    Half,
+    INDEX_BYTES,
+    Identity,
+    MaskCompact,
+    Pipeline,
+    RandomK,
+    SparsePayload,
+    TERNARY_BYTES,
+    Ternarize,
+    TernaryPayload,
+    TopK,
+    batched_top_k_indices,
+    pack_ternary,
+    unpack_ternary,
+)
+from repro.compression.codec.stages import EncodeContext
 from repro.compression.terngrad import ternarize
 from repro.compression.topk import top_k_indices
 from repro.ddp.bucket import Bucket, BucketSlice, GradBucket
@@ -108,6 +130,163 @@ class TestTernarizeProperties:
         quantised = ternarize(values, rng=np.random.default_rng(seed))
         nonzero = quantised != 0.0
         assert np.all(np.sign(quantised[nonzero]) == np.sign(values[nonzero]))
+
+
+class TestCodecRoundTripProperties:
+    """Round-trip and wire-size invariants for every codec stage.
+
+    Lossless codecs satisfy ``decode(encode(x)) == x`` exactly; lossy codecs
+    satisfy their documented error bounds; and ``payload.nbytes`` matches the
+    analytic wire-size formulas (``FP32_BYTES``/``INDEX_BYTES``/...).
+    """
+
+    @given(arrays(shape=st.tuples(st.integers(1, 256))))
+    @settings(max_examples=50, deadline=None)
+    def test_identity_is_lossless_and_charges_fp32(self, values):
+        pipeline = Pipeline([Identity()])
+        payload = pipeline.encode(values)
+        np.testing.assert_array_equal(pipeline.decode(payload), values)
+        assert payload.nbytes == values.size * FP32_BYTES
+
+    @given(arrays(shape=st.tuples(st.integers(1, 256))))
+    @settings(max_examples=50, deadline=None)
+    def test_half_error_bounded_by_fp16_rounding(self, values):
+        pipeline = Pipeline([Half()])
+        payload = pipeline.encode(values)
+        decoded = pipeline.decode(payload)
+        # fp16 has a 10-bit mantissa: relative error <= 2^-10 in the normal
+        # range, absolute error <= one subnormal step (~6e-8) near zero.
+        bound = np.maximum(np.abs(values) * 2.0 ** -10, 6.1e-8)
+        assert np.all(np.abs(decoded - values) <= bound)
+        assert payload.nbytes == values.size * FP16_BYTES
+
+    @given(
+        arrays(shape=st.tuples(st.integers(4, 256))),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_topk_preserves_selected_coordinates_exactly(self, values, ratio):
+        pipeline = Pipeline([TopK(ratio, error_feedback=False)])
+        payload = pipeline.encode(values)
+        k = max(1, int(round(values.size * ratio)))
+        assert isinstance(payload, SparsePayload)
+        assert payload.nbytes == k * (FP32_BYTES + INDEX_BYTES)
+        decoded = pipeline.decode(payload)
+        selected = np.zeros(values.size, dtype=bool)
+        selected[payload.indices] = True
+        np.testing.assert_array_equal(decoded[selected], values[selected])
+        np.testing.assert_array_equal(decoded[~selected], 0.0)
+
+    @given(
+        arrays(shape=st.tuples(st.integers(4, 256))),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_randomk_rescales_unbiasedly_and_skips_index_bytes(self, values, ratio, seed):
+        pipeline = Pipeline([RandomK(ratio, seed=seed, rescale=True)])
+        payload = pipeline.encode(values)
+        k = max(1, int(round(values.size * ratio)))
+        # Shared-seed selection: indices derived locally, never on the wire.
+        assert payload.nbytes == k * FP32_BYTES
+        decoded = pipeline.decode(payload)
+        np.testing.assert_allclose(
+            decoded[payload.indices], values[payload.indices] * values.size / k, rtol=1e-12
+        )
+
+    @given(arrays(shape=st.tuples(st.integers(1, 256))), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_ternarize_error_bounds_and_two_bit_wire_size(self, values, seed):
+        pipeline = Pipeline([Ternarize(seed=seed, clip_sigma=None)])
+        payload = pipeline.encode(values)
+        assert isinstance(payload, TernaryPayload)
+        assert payload.nbytes == values.size * TERNARY_BYTES
+        decoded = pipeline.decode(payload)
+        scale = np.max(np.abs(values)) if values.size else 0.0
+        assert np.all(np.abs(decoded) <= scale + 1e-12)           # bounded by the scale
+        assert np.all(decoded[values == 0.0] == 0.0)              # support subset
+        nonzero = decoded != 0.0
+        assert np.all(np.sign(decoded[nonzero]) == np.sign(values[nonzero]))
+
+    @given(
+        hnp.arrays(np.int8, st.tuples(st.integers(1, 512)), elements=st.integers(-1, 1))
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ternary_bit_packing_roundtrip(self, codes):
+        np.testing.assert_array_equal(unpack_ternary(pack_ternary(codes), codes.size), codes)
+
+    @given(
+        hnp.arrays(np.bool_, st.tuples(st.integers(1, 512)), elements=st.booleans())
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bitmask_payload_roundtrip_and_one_bit_per_element(self, mask):
+        payload = BitmaskPayload.from_mask(mask)
+        np.testing.assert_array_equal(payload.mask(), mask)
+        assert payload.nbytes == -(-mask.size // 8)  # ceil(bits / 8)
+
+    @given(
+        hnp.arrays(np.bool_, st.just(64), elements=st.booleans()),
+        arrays(shape=st.just((64,))),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mask_compact_is_lossless_on_masked_gradients(self, mask, values):
+        masked = values * mask
+        stage = MaskCompact()
+        stage.set_mask(0, mask)
+        pipeline = Pipeline([stage])
+        payload = pipeline.encode(masked)
+        assert payload.nbytes == mask.sum() * FP32_BYTES
+        np.testing.assert_array_equal(pipeline.decode(payload), masked)
+
+    @given(
+        arrays(shape=st.tuples(st.integers(8, 128))),
+        st.floats(min_value=0.05, max_value=0.5),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_composed_topk_terngrad_wire_size_and_support(self, values, ratio, seed):
+        """Composition: indices charged by TopK, values shrunk to 2 bits."""
+        pipeline = Pipeline([TopK(ratio, error_feedback=False), Ternarize(seed=seed)])
+        payload = pipeline.encode(values)
+        k = max(1, int(round(values.size * ratio)))
+        assert isinstance(payload, SparsePayload)
+        assert payload.nbytes == k * (INDEX_BYTES + TERNARY_BYTES)
+        decoded = pipeline.decode(payload)
+        off_selection = np.ones(values.size, dtype=bool)
+        off_selection[payload.indices] = False
+        np.testing.assert_array_equal(decoded[off_selection], 0.0)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=4, max_value=128),
+        st.integers(min_value=1, max_value=16),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_batched_selection_matches_per_rank_argpartition(self, world, numel, k, seed):
+        """The vectorised 2-D selection picks the same coordinate set per rank
+        as the per-rank 1-D ``top_k_indices`` (continuous draws: no ties)."""
+        k = min(k, numel)
+        rng = np.random.default_rng(seed)
+        matrix = rng.standard_normal((world, numel))
+        batched = batched_top_k_indices(matrix, k)
+        assert batched.shape == (world, k)
+        for rank in range(world):
+            expected = set(top_k_indices(matrix[rank], k).tolist())
+            assert set(batched[rank].tolist()) == expected
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=64),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dense_payload_all_reduce_equals_exact_average(self, world, numel, seed):
+        rng = np.random.default_rng(seed)
+        buffers = [rng.standard_normal(numel) for _ in range(world)]
+        reduced, event = all_reduce([DensePayload(b) for b in buffers], average=True)
+        np.testing.assert_array_equal(reduced.reduce_values(), exact_average(buffers))
+        assert event.metadata["payload"] == "DensePayload"
 
 
 class TestMaskTrackerProperties:

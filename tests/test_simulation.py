@@ -138,6 +138,12 @@ class TestMethodSpec:
         spec = MethodSpec(name="pactrain", compressor="pactrain", quantize=True)
         assert isinstance(spec.build_compressor(), PacTrainCompressor)
 
+    def test_composed_codec_spec_builds_pipeline_compressor(self):
+        spec = MethodSpec(name="prune+quant", compressor="topk0.01+terngrad")
+        compressor = spec.build_compressor()
+        assert [type(s).__name__ for s in compressor.pipeline.stages] == ["TopK", "Ternarize"]
+        assert not compressor.allreduce_compatible  # top-k forces all-gather
+
 
 class TestExperimentDriver:
     @pytest.fixture
@@ -189,6 +195,17 @@ class TestExperimentDriver:
         b = run_experiment(quick_config, PAPER_METHODS["fp16"])
         assert a.final_accuracy == pytest.approx(b.final_accuracy)
         assert a.simulated_time == pytest.approx(b.simulated_time)
+
+    @pytest.mark.parametrize("spec", ["topk0.01+terngrad", "randomk0.1+fp16"])
+    def test_run_experiment_with_composed_pipeline(self, quick_config, spec):
+        """Composed codec pipelines run end-to-end through the driver."""
+        result = run_experiment(quick_config, MethodSpec(name=spec, compressor=spec))
+        assert result.method == spec
+        assert result.iterations_run > 0
+        assert 0.0 <= result.final_accuracy <= 1.0
+        assert result.comm_time > 0
+        # Both compositions shrink the wire payload well below dense fp32.
+        assert result.compression_ratio > 2.0
 
     def test_method_comparison_runs_all(self, quick_config):
         results = run_method_comparison(
