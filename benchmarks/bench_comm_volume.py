@@ -19,7 +19,6 @@ compositions flow through the same driver and accounting.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.common import print_table
 from repro.comm import NetworkModel, ProcessGroup

@@ -18,7 +18,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, Optional, Sequence
 
-from repro.simulation import ClusterSpec, ExperimentConfig, ExperimentResult, MethodSpec
+from repro.simulation import ClusterSpec, ExperimentConfig, ExperimentResult
 
 #: Every table printed by a benchmark is also appended to this report file so
 #: the figures survive pytest's output capturing; EXPERIMENTS.md points here.

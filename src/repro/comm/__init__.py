@@ -15,8 +15,13 @@ package models that substrate:
   collectives to a fixed set of ranks, used by the DDP simulator.
 """
 
-from repro.comm.network import LinkSpec, NetworkModel, MBPS, GBPS
-from repro.comm.topology import ClusterTopology, build_paper_topology, build_star_topology
+from repro.comm.network import CostModel, LinkSpec, NetworkModel, MBPS, GBPS
+from repro.comm.topology import (
+    ClusterTopology,
+    HierarchicalCostModel,
+    build_paper_topology,
+    build_star_topology,
+)
 from repro.comm.collectives import (
     CollectiveEvent,
     all_reduce,
@@ -29,8 +34,10 @@ from repro.comm.collectives import (
 from repro.comm.process_group import ProcessGroup
 
 __all__ = [
+    "CostModel",
     "LinkSpec",
     "NetworkModel",
+    "HierarchicalCostModel",
     "MBPS",
     "GBPS",
     "ClusterTopology",

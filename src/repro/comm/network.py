@@ -1,4 +1,4 @@
-"""Alpha–beta network cost model.
+"""Alpha–beta network cost models.
 
 Collective communication time in the experiments is computed analytically from
 link bandwidth and latency (the "alpha–beta" model standard in the collective
@@ -6,12 +6,19 @@ communication literature): transferring ``n`` bytes over a link costs
 ``alpha + n / beta`` seconds, where ``alpha`` is the per-message latency and
 ``beta`` the bandwidth in bytes/second.
 
+Every consumer of collective costs (the process group, the event-driven
+simulation engine, planners) talks to the abstract :class:`CostModel`
+interface; :class:`NetworkModel` is its flat single-bottleneck backend, and
+:class:`repro.comm.topology.HierarchicalCostModel` the topology-aware one.
+
 The bottleneck bandwidths used in the paper's evaluation (100 Mbps, 500 Mbps
 and 1 Gbps WAN links between switches) are exposed as convenience constants.
 """
 
 from __future__ import annotations
 
+import math
+from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 MBPS = 1e6 / 8.0   # bytes per second for one megabit/s
@@ -47,7 +54,51 @@ class LinkSpec:
         return self.latency + num_bytes / self.bandwidth
 
 
-class NetworkModel:
+class CostModel(ABC):
+    """Collective cost interface shared by every network backend.
+
+    Each collective method returns the modeled seconds for one collective over
+    a per-worker payload of ``num_bytes``.  Collective costs must be monotone
+    non-decreasing in ``num_bytes`` and (for fixed bytes) in ``world_size``,
+    and must return ``0.0`` for a single worker or an empty payload — the
+    engine and the property-based tests rely on those invariants.
+    ``p2p_time`` is exempt from the ``world_size`` clause: it is a raw link
+    transfer between two endpoints, so only the byte invariants apply (zero
+    bytes still cost ``0.0`` via :meth:`LinkSpec.transfer_time`).
+    """
+
+    world_size: int
+
+    @abstractmethod
+    def p2p_time(self, num_bytes: float, cross_cluster: bool = True) -> float:
+        """Time for a single point-to-point transfer of ``num_bytes``."""
+
+    @abstractmethod
+    def ring_all_reduce_time(self, num_bytes: float) -> float:
+        """All-reduce of a ``num_bytes`` buffer resident on every worker."""
+
+    @abstractmethod
+    def all_gather_time(self, num_bytes: float) -> float:
+        """All-gather where every worker contributes ``num_bytes``."""
+
+    @abstractmethod
+    def reduce_scatter_time(self, num_bytes: float) -> float:
+        """Reduce-scatter of a ``num_bytes`` buffer."""
+
+    @abstractmethod
+    def broadcast_time(self, num_bytes: float) -> float:
+        """Broadcast of ``num_bytes`` from one root to all workers."""
+
+    @abstractmethod
+    def reduce_time(self, num_bytes: float) -> float:
+        """Reduce of ``num_bytes`` from all workers onto one root."""
+
+    @abstractmethod
+    def gather_time(self, num_bytes: float) -> float:
+        """Gather where the root receives ``num_bytes`` from every worker."""
+
+
+class NetworkModel(CostModel):
     """Cost model for a worker pool behind a shared bottleneck link.
 
     Parameters
@@ -125,10 +176,33 @@ class NetworkModel:
         n = self.world_size
         if n == 1 or num_bytes == 0:
             return 0.0
-        import math
-
         rounds = math.ceil(math.log2(n))
         return rounds * self.bottleneck.transfer_time(num_bytes)
+
+    def reduce_time(self, num_bytes: float) -> float:
+        """Binomial-tree reduce onto one root (the mirror image of broadcast).
+
+        Each of the ``ceil(log2 n)`` rounds halves the number of senders; every
+        round moves a full ``num_bytes`` message across the bottleneck.
+        """
+        n = self.world_size
+        if n == 1 or num_bytes == 0:
+            return 0.0
+        rounds = math.ceil(math.log2(n))
+        return rounds * self.bottleneck.transfer_time(num_bytes)
+
+    def gather_time(self, num_bytes: float) -> float:
+        """Gather where the root receives ``num_bytes`` from each other worker.
+
+        The root's link serialises the ``n - 1`` incoming messages, so the cost
+        is ``(n-1)`` latency terms plus ``(n-1) * num_bytes`` of volume.
+        """
+        n = self.world_size
+        if n == 1 or num_bytes == 0:
+            return 0.0
+        steps = n - 1
+        volume = (n - 1) * num_bytes
+        return steps * self.bottleneck.latency + volume / self.bottleneck.bandwidth
 
     # ------------------------------------------------------------------ #
     # Construction helpers

@@ -14,7 +14,7 @@ path every compressor uses, so the byte log is measured, not asserted.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -3,18 +3,26 @@
 The evaluation testbed attaches eight GPU servers (S1..S8) to virtual switches;
 the two links between the switches are throttled to create the WAN bottleneck.
 :class:`ClusterTopology` captures that structure as a networkx graph whose
-edges carry :class:`repro.comm.network.LinkSpec` annotations, and computes the
-bottleneck bandwidth along the path between any two servers — which is what the
-:class:`repro.comm.network.NetworkModel` needs.
+edges carry :class:`repro.comm.network.LinkSpec` annotations and exposes two
+views of it to the collective layer:
+
+* :meth:`ClusterTopology.to_network_model` — the flat view: one bottleneck
+  link shared by all servers (what the paper's single-number bandwidth sweep
+  uses);
+* :meth:`ClusterTopology.cost_model` — the hierarchical view
+  (:class:`HierarchicalCostModel`): servers are grouped by their attached
+  switch, collectives are charged an intra-LAN reduce/broadcast per group plus
+  a WAN exchange between group leaders, so the Fig. 4 chain topology and the
+  flat star stop being indistinguishable.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import networkx as nx
 
-from repro.comm.network import LinkSpec, NetworkModel, GBPS, MBPS
+from repro.comm.network import CostModel, LinkSpec, NetworkModel, GBPS
 
 
 class ClusterTopology:
@@ -63,21 +71,117 @@ class ClusterTopology:
             return LinkSpec(bandwidth=float("inf"), latency=0.0)
         return min(links, key=lambda link: link.bandwidth)
 
+    def path_spec(self, src: str, dst: str) -> LinkSpec:
+        """Collapse the ``src``→``dst`` path into one effective link.
+
+        The effective bandwidth is the minimum along the path (the pipe
+        narrows to its tightest hop); the effective latency is the sum of the
+        per-hop latencies (each hop adds its own alpha term).
+        """
+        links = self.path_links(src, dst)
+        if not links:
+            return LinkSpec(bandwidth=float("inf"), latency=0.0)
+        return LinkSpec(
+            bandwidth=min(link.bandwidth for link in links),
+            latency=sum(link.latency for link in links),
+        )
+
+    def path_cost(self, src: str, dst: str, num_bytes: float) -> float:
+        """Per-hop-aware transfer time for ``num_bytes`` from ``src`` to ``dst``."""
+        return self.path_spec(src, dst).transfer_time(num_bytes)
+
     def global_bottleneck(self) -> LinkSpec:
-        """The slowest link on any server-to-server path (ring traversal bound)."""
+        """The minimax bottleneck over all server-to-server paths.
+
+        For every pair of servers, the best possible route maximises the
+        minimum link bandwidth (the "widest path"); the global bottleneck is
+        the worst of those maxima — the link any all-to-all traversal of the
+        servers cannot avoid.  Computed with a single maximum-spanning-tree
+        style pass (Kruskal on descending bandwidth with union-find), which is
+        ``O(E log E)`` instead of the all-pairs ``O(n^2)`` scan: whenever an
+        edge first joins two components that both contain servers, it is the
+        widest-path bottleneck for every server pair across that cut, and the
+        last (slowest) such merge edge is the global minimax bottleneck.
+        """
         servers = self.servers
-        worst: Optional[LinkSpec] = None
-        for i, src in enumerate(servers):
-            for dst in servers[i + 1 :]:
-                candidate = self.bottleneck_link(src, dst)
-                if worst is None or candidate.bandwidth < worst.bandwidth:
-                    worst = candidate
-        if worst is None:
+        if len(servers) < 2:
             raise ValueError("topology has fewer than two servers")
+
+        parent: Dict[str, str] = {node: node for node in self.graph.nodes}
+        server_count: Dict[str, int] = {
+            node: 1 if self.graph.nodes[node].get("kind") == "server" else 0
+            for node in self.graph.nodes
+        }
+
+        def find(node: str) -> str:
+            root = node
+            while parent[root] != root:
+                root = parent[root]
+            while parent[node] != root:  # path compression
+                parent[node], node = root, parent[node]
+            return root
+
+        edges = sorted(
+            self.graph.edges(data="link"),
+            key=lambda edge: edge[2].bandwidth,
+            reverse=True,
+        )
+        worst: Optional[LinkSpec] = None
+        for a, b, link in edges:
+            root_a, root_b = find(a), find(b)
+            if root_a == root_b:
+                continue
+            if server_count[root_a] > 0 and server_count[root_b] > 0:
+                if worst is None or link.bandwidth < worst.bandwidth:
+                    worst = link
+            parent[root_b] = root_a
+            server_count[root_a] += server_count[root_b]
+        if worst is None or any(find(s) != find(servers[0]) for s in servers):
+            raise ValueError("servers are not all connected")
         return worst
 
+    # ------------------------------------------------------------------ #
+    # Hierarchical structure
+    # ------------------------------------------------------------------ #
+    def attached_switch(self, server: str) -> Optional[str]:
+        """The switch a server hangs off (fastest adjacent switch link)."""
+        candidates = [
+            (self.graph.edges[server, neighbor]["link"].bandwidth, neighbor)
+            for neighbor in self.graph.neighbors(server)
+            if self.graph.nodes[neighbor].get("kind") == "switch"
+        ]
+        if not candidates:
+            return None
+        return max(candidates)[1]
+
+    def switch_groups(self) -> Dict[str, List[str]]:
+        """Servers grouped by their attached switch (sorted, deterministic).
+
+        Servers with no adjacent switch form singleton groups keyed by their
+        own name, so every server belongs to exactly one group.
+        """
+        groups: Dict[str, List[str]] = {}
+        for server in self.servers:
+            key = self.attached_switch(server) or server
+            groups.setdefault(key, []).append(server)
+        return dict(sorted(groups.items()))
+
+    def cost_model(self) -> "HierarchicalCostModel":
+        """Topology-aware collective cost model (see :class:`HierarchicalCostModel`)."""
+        return HierarchicalCostModel(self)
+
+    def hierarchical_all_reduce_time(self, num_bytes: float) -> float:
+        """All-reduce cost under the hierarchical (per-switch-group) model.
+
+        For a single switch group this equals the flat
+        :meth:`to_network_model` ring time exactly; for multi-switch
+        topologies it charges the intra-LAN reduce/broadcast and the WAN
+        exchange separately.
+        """
+        return self.cost_model().ring_all_reduce_time(num_bytes)
+
     def to_network_model(self) -> NetworkModel:
-        """Collapse the topology into a :class:`NetworkModel` for collectives."""
+        """Collapse the topology into a flat :class:`NetworkModel` for collectives."""
         servers = self.servers
         bottleneck = self.global_bottleneck()
         intra_candidates = [
@@ -98,6 +202,137 @@ class ClusterTopology:
             "bottleneck_bandwidth_mbps": bottleneck.bandwidth * 8 / 1e6,
             "bottleneck_latency_us": bottleneck.latency * 1e6,
         }
+
+
+class HierarchicalCostModel(CostModel):
+    """Topology-aware collective costing over switch groups.
+
+    Servers are partitioned into groups by their attached switch.  With a
+    single group (a star/rack topology) every method delegates to the flat
+    :class:`NetworkModel` derived from the same topology, so star costs are
+    *exactly* the flat costs.  With multiple groups, collectives decompose
+    into the textbook hierarchical schedule:
+
+    * **all-reduce** — intra-group tree reduce onto a group leader (LAN), ring
+      all-reduce among the leaders (WAN, charged over the worst leader-to-
+      leader path collapsed per hop), intra-group tree broadcast (LAN);
+    * **broadcast / reduce / gather / all-gather / reduce-scatter** — the
+      corresponding intra phase plus the leader-level WAN phase.
+
+    Intra-group phases run concurrently across groups, so each phase charges
+    the *slowest* group.
+    """
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self.topology = topology
+        servers = topology.servers
+        if not servers:
+            raise ValueError("topology has no servers")
+        self.world_size = len(servers)
+        self._flat = topology.to_network_model() if self.world_size >= 2 else None
+        groups = topology.switch_groups()
+        self.group_names: List[str] = list(groups)
+        self.groups: List[List[str]] = [groups[name] for name in self.group_names]
+        self.leaders: List[str] = [members[0] for members in self.groups]
+
+        # Per-group flat models over the group's slowest member-to-switch link.
+        self._group_models: List[NetworkModel] = []
+        for name, members in zip(self.group_names, self.groups):
+            links = [
+                topology.graph.edges[server, name]["link"]
+                for server in members
+                if topology.graph.has_edge(server, name)
+            ]
+            intra = min(links, key=lambda link: link.bandwidth) if links else LinkSpec(float("inf"), 0.0)
+            self._group_models.append(
+                NetworkModel(world_size=len(members), bottleneck=intra, intra_link=intra)
+            )
+
+        # Leader-level model over the worst leader-to-leader effective path.
+        if len(self.leaders) > 1:
+            specs = [
+                topology.path_spec(a, b)
+                for i, a in enumerate(self.leaders)
+                for b in self.leaders[i + 1 :]
+            ]
+            wan = min(specs, key=lambda spec: (spec.bandwidth, -spec.latency))
+            self._inter = NetworkModel(world_size=len(self.leaders), bottleneck=wan, intra_link=wan)
+        else:
+            self._inter = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def is_flat(self) -> bool:
+        """True when hierarchy adds nothing (one switch group or one server)."""
+        return self._inter is None
+
+    def _max_over_groups(self, method: str, num_bytes: float) -> float:
+        return max(getattr(model, method)(num_bytes) for model in self._group_models)
+
+    # ------------------------------------------------------------------ #
+    # CostModel interface
+    # ------------------------------------------------------------------ #
+    def p2p_time(self, num_bytes: float, cross_cluster: bool = True) -> float:
+        if self.is_flat or not cross_cluster:
+            model = self._flat or self._group_models[0]
+            return model.p2p_time(num_bytes, cross_cluster=cross_cluster)
+        return self._inter.bottleneck.transfer_time(num_bytes)
+
+    def ring_all_reduce_time(self, num_bytes: float) -> float:
+        if self.is_flat:
+            return self._flat.ring_all_reduce_time(num_bytes) if self._flat else 0.0
+        return (
+            self._max_over_groups("reduce_time", num_bytes)
+            + self._inter.ring_all_reduce_time(num_bytes)
+            + self._max_over_groups("broadcast_time", num_bytes)
+        )
+
+    def all_gather_time(self, num_bytes: float) -> float:
+        if self.is_flat:
+            return self._flat.all_gather_time(num_bytes) if self._flat else 0.0
+        max_group = max(len(members) for members in self.groups)
+        return (
+            self._max_over_groups("gather_time", num_bytes)
+            + self._inter.all_gather_time(max_group * num_bytes)
+            + self._max_over_groups("broadcast_time", self.world_size * num_bytes)
+        )
+
+    def reduce_scatter_time(self, num_bytes: float) -> float:
+        if self.is_flat:
+            return self._flat.reduce_scatter_time(num_bytes) if self._flat else 0.0
+        return (
+            self._max_over_groups("reduce_time", num_bytes)
+            + self._inter.reduce_scatter_time(num_bytes)
+        )
+
+    def broadcast_time(self, num_bytes: float) -> float:
+        if self.is_flat:
+            return self._flat.broadcast_time(num_bytes) if self._flat else 0.0
+        return (
+            self._inter.broadcast_time(num_bytes)
+            + self._max_over_groups("broadcast_time", num_bytes)
+        )
+
+    def reduce_time(self, num_bytes: float) -> float:
+        if self.is_flat:
+            return self._flat.reduce_time(num_bytes) if self._flat else 0.0
+        return (
+            self._max_over_groups("reduce_time", num_bytes)
+            + self._inter.reduce_time(num_bytes)
+        )
+
+    def gather_time(self, num_bytes: float) -> float:
+        if self.is_flat:
+            return self._flat.gather_time(num_bytes) if self._flat else 0.0
+        max_group = max(len(members) for members in self.groups)
+        return (
+            self._max_over_groups("gather_time", num_bytes)
+            + self._inter.gather_time(max_group * num_bytes)
+        )
 
 
 def build_paper_topology(

@@ -16,7 +16,7 @@ Design goals (see DESIGN.md, Substitutions):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

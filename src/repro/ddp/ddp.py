@@ -43,6 +43,10 @@ class StepResult:
     comm_bytes_per_worker: float
     events: List[CollectiveEvent] = field(default_factory=list)
     per_bucket_numel: List[int] = field(default_factory=list)
+    #: Modeled seconds of each bucket's collective(s), in bucket order — the
+    #: per-bucket costs the event-driven engine schedules against backward
+    #: compute.
+    per_bucket_comm_time: List[float] = field(default_factory=list)
 
 
 class DistributedDataParallel:
@@ -137,7 +141,7 @@ class DistributedDataParallel:
             per_rank_losses.append(loss_value)
             per_rank_grads.append(grads)
 
-        aggregated = self.synchronize_gradients(per_rank_grads)
+        aggregated, bucket_events = self.synchronize_gradients_traced(per_rank_grads)
         self._write_back(aggregated)
 
         events = self.process_group.pop_events()
@@ -151,6 +155,9 @@ class DistributedDataParallel:
             comm_bytes_per_worker=comm_bytes,
             events=events,
             per_bucket_numel=[b.numel for b in self.buckets],
+            per_bucket_comm_time=[
+                float(sum(e.time_seconds for e in per_bucket)) for per_bucket in bucket_events
+            ],
         )
 
     # ------------------------------------------------------------------ #
@@ -161,14 +168,33 @@ class DistributedDataParallel:
         per_rank_grads: Sequence[Dict[str, np.ndarray]],
     ) -> Dict[str, np.ndarray]:
         """Bucket per-rank gradients, run the hook per bucket, unpack the result."""
+        aggregated, _ = self.synchronize_gradients_traced(per_rank_grads)
+        return aggregated
+
+    def synchronize_gradients_traced(
+        self,
+        per_rank_grads: Sequence[Dict[str, np.ndarray]],
+    ) -> Tuple[Dict[str, np.ndarray], List[List[CollectiveEvent]]]:
+        """:meth:`synchronize_gradients`, also returning per-bucket events.
+
+        The second element groups the process group's collective events by the
+        bucket whose hook issued them (one — or, for adaptive compressors,
+        several — per bucket), which is what the event-driven engine needs to
+        schedule each bucket's collective against backward compute.  Events
+        are *not* popped from the group's log; the caller still drains it once
+        per iteration.
+        """
         if len(per_rank_grads) != self.world_size:
             raise ValueError("need one gradient dict per rank")
         aggregated: Dict[str, np.ndarray] = {}
+        bucket_events: List[List[CollectiveEvent]] = []
         last_index = len(self.buckets) - 1
         for bucket in self.buckets:
             flats = [bucket.flatten(grads) for grads in per_rank_grads]
             grad_bucket = GradBucket(bucket, flats, is_last=bucket.index == last_index)
+            events_before = len(self.process_group.events)
             reduced = self._hook(self._hook_state, grad_bucket)
+            bucket_events.append(list(self.process_group.events[events_before:]))
             reduced = np.asarray(reduced, dtype=np.float64).reshape(-1)
             if reduced.size != bucket.numel:
                 raise ValueError(
@@ -176,7 +202,7 @@ class DistributedDataParallel:
                     f"expected {bucket.numel}"
                 )
             aggregated.update(bucket.unflatten(reduced))
-        return aggregated
+        return aggregated, bucket_events
 
     def apply_aggregated_gradients(self, aggregated: Dict[str, np.ndarray]) -> None:
         """Public entry point for writing externally aggregated gradients back."""

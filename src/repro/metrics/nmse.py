@@ -10,7 +10,7 @@ gradients) and by the ablation benchmark.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -3,15 +3,29 @@
 A :class:`ClusterSpec` bundles everything the experiment driver needs to know
 about "where" training runs: how many workers, what device they compute on and
 what network connects them.  The default reproduces the paper's testbed —
-eight workers behind the Fig. 4 topology with a configurable WAN bottleneck.
+eight homogeneous workers behind the Fig. 4 topology with a configurable WAN
+bottleneck, no compute/comm overlap and a flat (single-bottleneck) collective
+cost model, which keeps every pre-engine figure bit-identical.
+
+Heterogeneity knobs (all optional):
+
+* ``devices`` — one device preset / :class:`DeviceSpec` per worker;
+* ``straggler`` — compute-time multiplier for the last worker (2.0 = twice as
+  slow), the simplest one-straggler scenario;
+* ``straggler_factors`` — full per-worker multiplier list, overriding
+  ``straggler``;
+* ``overlap`` — schedule each gradient bucket's collective the moment its
+  gradients are ready (the event-driven engine's per-bucket overlap model);
+* ``hierarchical`` — cost collectives per switch group over the Fig. 4
+  topology instead of through one flat bottleneck link.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.comm.network import NetworkModel, PAPER_BANDWIDTHS, LinkSpec
+from repro.comm.network import CostModel, NetworkModel, PAPER_BANDWIDTHS
 from repro.comm.process_group import ProcessGroup
 from repro.comm.topology import ClusterTopology, build_paper_topology
 from repro.simulation.compute import ComputeModel, DeviceSpec
@@ -29,7 +43,8 @@ class ClusterSpec:
         Bottleneck bandwidth: either one of the paper's named settings
         (``"100Mbps"``, ``"500Mbps"``, ``"1Gbps"``) or a float in bytes/second.
     device:
-        Device preset name or :class:`DeviceSpec` for the compute model.
+        Device preset name or :class:`DeviceSpec` for the compute model,
+        shared by all workers unless ``devices`` is given.
     latency:
         Per-message latency of the bottleneck link, in seconds.
     """
@@ -42,10 +57,38 @@ class ClusterSpec:
     #: full-size models; see DESIGN.md (Substitutions).
     latency: float = 1e-4
     sparse_compute_speedup: bool = False
+    #: Per-worker device list (length ``world_size``); overrides ``device``.
+    devices: Optional[Sequence[Union[str, DeviceSpec]]] = None
+    #: Compute-time multiplier for the *last* worker (>= any value > 0); 1.0
+    #: keeps the cluster homogeneous.
+    straggler: float = 1.0
+    #: Per-worker compute-time multipliers (length ``world_size``); overrides
+    #: ``straggler``.
+    straggler_factors: Optional[Sequence[float]] = None
+    #: Schedule per-bucket collectives as soon as their gradients are ready
+    #: (event-driven overlap).  Off by default: the seed time model.
+    overlap: bool = False
+    #: Cost collectives hierarchically per switch group of the Fig. 4
+    #: topology instead of over one flat bottleneck link.
+    hierarchical: bool = False
 
     def __post_init__(self) -> None:
         if self.world_size < 1:
             raise ValueError("world_size must be >= 1")
+        if self.devices is not None and len(self.devices) != self.world_size:
+            raise ValueError(
+                f"devices must list one entry per worker ({self.world_size}), got {len(self.devices)}"
+            )
+        if self.straggler <= 0:
+            raise ValueError("straggler factor must be positive")
+        if self.straggler_factors is not None:
+            if len(self.straggler_factors) != self.world_size:
+                raise ValueError(
+                    f"straggler_factors must list one entry per worker ({self.world_size}), "
+                    f"got {len(self.straggler_factors)}"
+                )
+            if any(f <= 0 for f in self.straggler_factors):
+                raise ValueError("straggler factors must be positive")
 
     # ------------------------------------------------------------------ #
     def bandwidth_bytes_per_second(self) -> float:
@@ -58,7 +101,7 @@ class ClusterSpec:
         return float(self.bandwidth)
 
     def network_model(self) -> NetworkModel:
-        """Alpha-beta model of the bottleneck implied by this cluster."""
+        """Flat alpha-beta model of the bottleneck implied by this cluster."""
         return NetworkModel.from_bandwidth(
             self.world_size, self.bandwidth_bytes_per_second(), latency=self.latency
         )
@@ -71,12 +114,73 @@ class ClusterSpec:
             num_servers=self.world_size,
         )
 
+    def cost_model(self) -> CostModel:
+        """Collective cost backend: flat by default, per-switch-group when
+        ``hierarchical`` is set."""
+        if self.hierarchical:
+            return self.topology().cost_model()
+        return self.network_model()
+
     def process_group(self) -> ProcessGroup:
         """Process group whose collectives are costed by this cluster's network."""
-        return ProcessGroup(self.world_size, self.network_model())
+        return ProcessGroup(self.world_size, self.cost_model())
 
+    # ------------------------------------------------------------------ #
+    # Compute heterogeneity
+    # ------------------------------------------------------------------ #
     def compute_model(self) -> ComputeModel:
         return ComputeModel(self.device, sparse_speedup=self.sparse_compute_speedup)
+
+    def compute_models(self) -> List[ComputeModel]:
+        """One compute model per worker (heterogeneous if ``devices`` is set)."""
+        if self.devices is None:
+            return [self.compute_model()] * self.world_size
+        return [
+            ComputeModel(device, sparse_speedup=self.sparse_compute_speedup)
+            for device in self.devices
+        ]
+
+    def straggler_multipliers(self) -> List[float]:
+        """Per-worker compute-time multipliers (1.0 everywhere when homogeneous)."""
+        if self.straggler_factors is not None:
+            return [float(f) for f in self.straggler_factors]
+        factors = [1.0] * self.world_size
+        factors[-1] = float(self.straggler)
+        return factors
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether any worker computes at a different speed than the others."""
+        if self.devices is not None and len(set(map(str, self.devices))) > 1:
+            return True
+        multipliers = self.straggler_multipliers()
+        return any(m != multipliers[0] for m in multipliers)
+
+    def per_rank_iteration_times(
+        self,
+        model,
+        input_shape: Tuple[int, int, int],
+        batch_size: int,
+        weight_sparsity: float = 0.0,
+    ) -> List[float]:
+        """Modeled forward+backward seconds for each worker.
+
+        For a homogeneous cluster every entry is exactly the shared
+        ``compute_model().iteration_time(...)`` value (multiplying by the 1.0
+        straggler factor preserves the bits), so the engine's ``max`` over
+        ranks reproduces the seed's single compute term bit-identically.
+        """
+        multipliers = self.straggler_multipliers()
+        if self.devices is None:
+            base = self.compute_model().iteration_time(
+                model, input_shape, batch_size, weight_sparsity=weight_sparsity
+            )
+            return [base * multiplier for multiplier in multipliers]
+        return [
+            compute.iteration_time(model, input_shape, batch_size, weight_sparsity=weight_sparsity)
+            * multiplier
+            for compute, multiplier in zip(self.compute_models(), multipliers)
+        ]
 
     # ------------------------------------------------------------------ #
     def describe(self) -> dict:
@@ -86,4 +190,8 @@ class ClusterSpec:
             "bandwidth_mbps": bandwidth * 8 / 1e6,
             "latency_ms": self.latency * 1e3,
             "device": self.device if isinstance(self.device, str) else self.device.name,
+            "overlap": self.overlap,
+            "hierarchical": self.hierarchical,
+            "heterogeneous": self.is_heterogeneous,
+            "straggler_factors": self.straggler_multipliers(),
         }

@@ -11,8 +11,8 @@ and tabulated in Table 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,11 +20,13 @@ from repro.compression.base import Compressor
 from repro.compression.registry import build_compressor
 from repro.data import DataLoader, DistributedSampler, make_dataset, train_test_split
 from repro.ddp import DistributedDataParallel
+from repro.ddp.bucket import DEFAULT_BUCKET_CAP_BYTES
 from repro.nn import SGD
 from repro.nn.models import build_model
 from repro.nn.module import Module
 from repro.pruning import PruningMask, apply_gse, grasp_prune, magnitude_prune
 from repro.simulation.cluster import ClusterSpec
+from repro.simulation.engine import SimulationEngine
 from repro.simulation.timeline import TrainingTimeline
 from repro.tensorlib import Tensor, functional as F, no_grad
 
@@ -114,6 +116,10 @@ class ExperimentConfig:
     max_iterations_per_epoch: Optional[int] = None
     seed: int = 0
     stop_at_target: bool = False
+    #: Gradient bucket capacity.  PyTorch's 25 MiB default keeps the mini
+    #: models in a single bucket; set a smaller cap to get the multi-bucket
+    #: layout that per-bucket compute/comm overlap needs.
+    bucket_cap_bytes: int = DEFAULT_BUCKET_CAP_BYTES
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -146,16 +152,30 @@ class ExperimentResult:
     compression_ratio: float
     weight_sparsity: float
     gradient_density: float
+    #: Whether the run hit ``target_accuracy`` at any epoch (even if training
+    #: continued afterwards because ``stop_at_target`` was off).
+    reached_target: bool = False
+    #: Fraction of communication hidden behind backward compute by the
+    #: event-driven per-bucket schedule (0.0 with overlap disabled).
+    overlap_fraction: float = 0.0
+    #: Sum of per-iteration critical paths from the engine's schedule; equals
+    #: ``simulated_time`` up to float rounding of the per-iteration sums.
+    critical_path_time: float = 0.0
+    #: Simulated seconds the fastest worker spent idle waiting for stragglers.
+    straggler_time: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
 
     def tta_or_total(self) -> float:
         """TTA if the target was reached, otherwise total simulated time.
 
-        The paper reports relative TTA; runs that never reach the target are
-        charged their full training time (a conservative lower bound on their
+        ``reached_target`` (not ``tta is None``) decides which: the paper
+        reports relative TTA, and runs that never reach the target are charged
+        their full training time (a conservative lower bound on their
         disadvantage).
         """
-        return self.tta if self.tta is not None else self.simulated_time
+        if self.reached_target and self.tta is not None:
+            return self.tta
+        return self.simulated_time
 
 
 # --------------------------------------------------------------------------- #
@@ -236,26 +256,44 @@ def train_distributed(
     stop_at_target: bool = False,
     max_iterations_per_epoch: Optional[int] = None,
     seed: int = 0,
-) -> Tuple[TrainingTimeline, DistributedDataParallel, Compressor]:
+    bucket_cap_bytes: int = DEFAULT_BUCKET_CAP_BYTES,
+) -> Tuple[TrainingTimeline, DistributedDataParallel, Compressor, bool]:
     """Run synchronous data-parallel training with modeled time.
 
-    Returns the timeline (accuracy/time trace), the DDP wrapper and the
-    compressor (whose statistics record bytes on the wire).
+    Every iteration is scheduled by the event-driven
+    :class:`~repro.simulation.engine.SimulationEngine`: per-rank backward
+    completion times (heterogeneous when the cluster has stragglers or mixed
+    devices) and per-bucket collective costs feed an event heap, and the
+    iteration's wall time is the schedule's critical path.  With
+    ``cluster.overlap`` off the schedule degenerates to the seed
+    ``compute + comm`` sum bit-identically.
+
+    Returns the timeline (accuracy/time trace), the DDP wrapper, the
+    compressor (whose statistics record bytes on the wire) and whether the
+    target accuracy was reached at any epoch.
     """
     world_size = cluster.world_size
     process_group = cluster.process_group()
     compressor = method.build_compressor(seed=seed)
     ddp = DistributedDataParallel(
-        model, world_size=world_size, process_group=process_group, comm_hook=compressor
+        model,
+        world_size=world_size,
+        process_group=process_group,
+        bucket_cap_bytes=bucket_cap_bytes,
+        comm_hook=compressor,
     )
     optimizer = SGD(model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
     compute_model = cluster.compute_model()
+    engine = SimulationEngine(overlap=cluster.overlap)
     timeline = TrainingTimeline()
 
     input_shape = train_dataset.input_shape
     weight_sparsity = _weight_sparsity(model)
-    compute_seconds = compute_model.iteration_time(
+    per_rank_compute = cluster.per_rank_iteration_times(
         model, input_shape, batch_size, weight_sparsity=weight_sparsity
+    )
+    bucket_fractions = compute_model.bucket_completion_fractions(
+        model, input_shape, ddp.buckets
     )
 
     # One loader per rank over disjoint shards.
@@ -292,7 +330,7 @@ def train_distributed(
                 per_rank_losses.append(loss_value)
                 per_rank_grads.append(grads)
 
-            aggregated = ddp.synchronize_gradients(per_rank_grads)
+            aggregated, bucket_events = ddp.synchronize_gradients_traced(per_rank_grads)
             ddp.apply_aggregated_gradients(aggregated)
             optimizer.step()
             if mask is not None:
@@ -302,7 +340,12 @@ def train_distributed(
             events = process_group.pop_events()
             comm_seconds = float(sum(e.time_seconds for e in events))
             comm_bytes = float(sum(e.bytes_per_worker for e in events))
-            timeline.add_iteration(compute_seconds, comm_seconds, comm_bytes)
+            trace = engine.run_iteration(
+                per_rank_compute,
+                bucket_fractions,
+                [float(sum(e.time_seconds for e in per_bucket)) for per_bucket in bucket_events],
+            )
+            timeline.add_iteration(trace.compute_span, comm_seconds, comm_bytes, trace=trace)
             ddp.hook_state.iteration += 1
             epoch_losses.append(float(np.mean(per_rank_losses)))
             iteration += 1
@@ -315,8 +358,7 @@ def train_distributed(
             reached_target = True
             if stop_at_target:
                 break
-    _ = reached_target
-    return timeline, ddp, compressor
+    return timeline, ddp, compressor, reached_target
 
 
 # --------------------------------------------------------------------------- #
@@ -342,7 +384,7 @@ def run_experiment(config: ExperimentConfig, method: MethodSpec) -> ExperimentRe
     sample_batch = next(iter(pretrain_loader))
     mask = _prune_model(model, method, sample_batch)
 
-    timeline, ddp, compressor = train_distributed(
+    timeline, ddp, compressor, reached_target = train_distributed(
         model=model,
         train_dataset=train_set,
         test_loader=test_loader,
@@ -358,6 +400,7 @@ def run_experiment(config: ExperimentConfig, method: MethodSpec) -> ExperimentRe
         stop_at_target=config.stop_at_target,
         max_iterations_per_epoch=config.max_iterations_per_epoch,
         seed=config.seed,
+        bucket_cap_bytes=config.bucket_cap_bytes,
     )
 
     gradient_density = 1.0
@@ -393,6 +436,10 @@ def run_experiment(config: ExperimentConfig, method: MethodSpec) -> ExperimentRe
         compression_ratio=compressor.stats.compression_ratio,
         weight_sparsity=_weight_sparsity(model),
         gradient_density=gradient_density,
+        reached_target=reached_target,
+        overlap_fraction=timeline.overlap_fraction,
+        critical_path_time=timeline.critical_path_time(),
+        straggler_time=timeline.straggler_time,
         extra=extra,
     )
 

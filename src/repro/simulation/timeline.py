@@ -1,9 +1,24 @@
-"""Training timeline: accumulation of modeled compute and communication time."""
+"""Training timeline: accumulation of modeled compute and communication time.
+
+The timeline is fed one :class:`~repro.simulation.engine.IterationTrace` per
+iteration by the experiment driver.  Three accumulators decompose the run:
+
+* ``compute_time`` — the compute critical path (slowest rank per iteration);
+* ``comm_time`` — collective busy time (what the collectives cost end to end);
+* ``overlap_saved`` — communication hidden behind backward compute by the
+  event-driven engine's per-bucket schedule.
+
+``total_time = compute_time + comm_time - overlap_saved``: with overlap
+disabled every trace reports ``overlap_saved == 0.0`` and the total reduces
+bit-identically to the seed ``compute + comm`` model.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
+
+from repro.simulation.engine import IterationTrace
 
 
 @dataclass
@@ -17,34 +32,65 @@ class EpochRecord:
     comm_time: float
     compute_time: float
     comm_bytes_per_worker: float
+    overlap_saved: float = 0.0
+    straggler_time: float = 0.0
 
 
 class TrainingTimeline:
     """Accumulates modeled time and per-epoch snapshots for one training run.
 
     Compute on the simulated ranks happens in parallel, so one iteration adds
-    a *single* compute-time term (all ranks take the same modeled time) plus
-    the communication time of that iteration's collectives.
+    a *single* compute-time term (the slowest rank's) plus the communication
+    time of that iteration's collectives, minus whatever communication the
+    engine managed to hide behind backward compute.
     """
 
     def __init__(self) -> None:
         self.compute_time = 0.0
         self.comm_time = 0.0
         self.comm_bytes_per_worker = 0.0
+        self.overlap_saved = 0.0
+        self.straggler_time = 0.0
         self.iterations = 0
         self.epochs: List[EpochRecord] = []
+        self.traces: List[IterationTrace] = []
 
     # ------------------------------------------------------------------ #
     @property
     def total_time(self) -> float:
-        return self.compute_time + self.comm_time
+        return self.compute_time + self.comm_time - self.overlap_saved
 
-    def add_iteration(self, compute_seconds: float, comm_seconds: float, comm_bytes: float = 0.0) -> None:
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of all communication hidden behind backward compute."""
+        return self.overlap_saved / self.comm_time if self.comm_time > 0 else 0.0
+
+    def critical_path_time(self) -> float:
+        """Sum of per-iteration critical paths (wall time of each schedule).
+
+        Falls back to :attr:`total_time` when no traces were recorded (e.g.
+        when iterations are added through the legacy scalar interface).
+        """
+        if not self.traces:
+            return self.total_time
+        return float(sum(trace.wall_time for trace in self.traces))
+
+    def add_iteration(
+        self,
+        compute_seconds: float,
+        comm_seconds: float,
+        comm_bytes: float = 0.0,
+        trace: Optional[IterationTrace] = None,
+    ) -> None:
         if compute_seconds < 0 or comm_seconds < 0:
             raise ValueError("iteration times must be non-negative")
         self.compute_time += compute_seconds
         self.comm_time += comm_seconds
         self.comm_bytes_per_worker += comm_bytes
+        if trace is not None:
+            self.overlap_saved += trace.overlap_saved
+            self.straggler_time += trace.straggler_slack
+            self.traces.append(trace)
         self.iterations += 1
 
     def snapshot_epoch(self, epoch: int, train_loss: float, test_accuracy: float) -> EpochRecord:
@@ -56,6 +102,8 @@ class TrainingTimeline:
             comm_time=self.comm_time,
             compute_time=self.compute_time,
             comm_bytes_per_worker=self.comm_bytes_per_worker,
+            overlap_saved=self.overlap_saved,
+            straggler_time=self.straggler_time,
         )
         self.epochs.append(record)
         return record

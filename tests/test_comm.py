@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 import pytest
@@ -11,6 +12,8 @@ from repro.comm import (
     GBPS,
     MBPS,
     ClusterTopology,
+    CostModel,
+    HierarchicalCostModel,
     LinkSpec,
     NetworkModel,
     ProcessGroup,
@@ -22,6 +25,16 @@ from repro.comm import (
     reduce_scatter,
 )
 from repro.comm.network import PAPER_BANDWIDTHS
+
+#: Every collective cost the CostModel interface exposes, by method name.
+COLLECTIVE_METHODS = (
+    "ring_all_reduce_time",
+    "all_gather_time",
+    "reduce_scatter_time",
+    "broadcast_time",
+    "reduce_time",
+    "gather_time",
+)
 
 
 class TestLinkSpec:
@@ -80,6 +93,25 @@ class TestNetworkModel:
         with pytest.raises(KeyError):
             NetworkModel.from_paper_setting(8, "10Gbps")
 
+    def test_implements_cost_model_interface(self):
+        model = NetworkModel.from_bandwidth(8, 1 * GBPS)
+        assert isinstance(model, CostModel)
+        for method in COLLECTIVE_METHODS:
+            assert getattr(model, method)(1e6) > 0.0
+            assert getattr(model, method)(0.0) == 0.0
+
+    def test_reduce_mirrors_broadcast(self):
+        model = NetworkModel.from_bandwidth(8, 1 * GBPS)
+        assert model.reduce_time(1e6) == pytest.approx(model.broadcast_time(1e6))
+
+    def test_gather_serialises_on_the_root_link(self):
+        model = NetworkModel.from_bandwidth(4, 100 * MBPS, latency=1e-3)
+        nbytes = 1e6
+        expected = 3 * 1e-3 + 3 * nbytes / (100 * MBPS)
+        assert model.gather_time(nbytes) == pytest.approx(expected)
+        assert NetworkModel.from_bandwidth(1, 100 * MBPS).gather_time(nbytes) == 0.0
+        assert NetworkModel.from_bandwidth(1, 100 * MBPS).reduce_time(nbytes) == 0.0
+
 
 class TestTopology:
     def test_paper_topology_counts(self):
@@ -132,6 +164,127 @@ class TestTopology:
         topo.add_server("only")
         with pytest.raises(ValueError):
             topo.global_bottleneck()
+
+    def test_global_bottleneck_requires_connected_servers(self):
+        topo = ClusterTopology()
+        topo.add_server("a")
+        topo.add_server("b")
+        with pytest.raises(ValueError):
+            topo.global_bottleneck()
+
+    def test_global_bottleneck_avoids_unused_slow_spur(self):
+        # A slow link hanging off a switch with no server behind it must not
+        # count: no server-to-server path crosses it.
+        topo = build_star_topology(4, LinkSpec(1 * GBPS))
+        topo.add_switch("spur")
+        topo.add_link("switch0", "spur", LinkSpec(1 * MBPS))
+        assert topo.global_bottleneck().bandwidth == pytest.approx(1 * GBPS)
+
+    def test_global_bottleneck_is_minimax_over_parallel_paths(self):
+        # Two routes between the servers: 10 Mbps direct, 100 Mbps via two
+        # hops.  The widest path avoids the slow direct link.
+        topo = ClusterTopology()
+        topo.add_server("a")
+        topo.add_server("b")
+        topo.add_switch("mid")
+        topo.add_link("a", "b", LinkSpec(10 * MBPS))
+        topo.add_link("a", "mid", LinkSpec(100 * MBPS))
+        topo.add_link("mid", "b", LinkSpec(100 * MBPS))
+        assert topo.global_bottleneck().bandwidth == pytest.approx(100 * MBPS)
+
+    def test_global_bottleneck_micro_benchmark_512_servers(self):
+        # Satellite requirement: the minimax/maximum-spanning-tree pass must
+        # handle a 512-server topology in well under a second (the old
+        # all-pairs scan was O(n^2) shortest-path computations).
+        topo = build_paper_topology(num_servers=512, num_switches=8)
+        start = time.perf_counter()
+        bottleneck = topo.global_bottleneck()
+        elapsed = time.perf_counter() - start
+        assert bottleneck.bandwidth == pytest.approx(1 * GBPS)
+        assert elapsed < 0.25, f"global_bottleneck took {elapsed:.3f}s on 512 servers"
+
+    def test_path_spec_collapses_hops(self):
+        topo = build_paper_topology(
+            wan_bandwidth=100 * MBPS, wan_latency=1e-3, lan_latency=20e-6
+        )
+        # S1 (vswitch0) -> S3 (vswitch2): LAN + WAN + WAN + LAN hops.
+        spec = topo.path_spec("S1", "S3")
+        assert spec.bandwidth == pytest.approx(100 * MBPS)
+        assert spec.latency == pytest.approx(2 * 1e-3 + 2 * 20e-6)
+        assert topo.path_cost("S1", "S3", 0.0) == 0.0
+        assert topo.path_cost("S1", "S1", 1e6) == 0.0
+
+    def test_switch_groups_round_robin(self):
+        topo = build_paper_topology(num_servers=8, num_switches=3)
+        groups = topo.switch_groups()
+        assert set(groups) == {"vswitch0", "vswitch1", "vswitch2"}
+        assert sorted(len(members) for members in groups.values()) == [2, 3, 3]
+        assert topo.attached_switch("S1") == "vswitch0"
+
+
+class TestHierarchicalCostModel:
+    def test_star_topology_matches_flat_model_exactly(self):
+        # The satellite equivalence guarantee: one switch group delegates to
+        # the flat NetworkModel, so every cost is float-equal, not approx.
+        topo = build_star_topology(8, LinkSpec(1 * GBPS, latency=1e-4))
+        flat = topo.to_network_model()
+        hier = topo.cost_model()
+        assert isinstance(hier, CostModel)
+        assert hier.is_flat and hier.num_groups == 1
+        for nbytes in (0.0, 1.0, 1e3, 1e6, 5e7):
+            for method in COLLECTIVE_METHODS:
+                assert getattr(hier, method)(nbytes) == getattr(flat, method)(nbytes)
+            assert hier.p2p_time(nbytes) == flat.p2p_time(nbytes)
+
+    def test_hierarchical_all_reduce_charges_lan_and_wan(self):
+        topo = build_paper_topology(wan_bandwidth=100 * MBPS)
+        hier = topo.cost_model()
+        assert hier.num_groups == 3 and not hier.is_flat
+        nbytes = 1e6
+        total = topo.hierarchical_all_reduce_time(nbytes)
+        inter_only = hier._inter.ring_all_reduce_time(nbytes)
+        # The WAN exchange runs between the 3 switch-group leaders; the intra
+        # LAN reduce and broadcast phases are charged on top of it.
+        assert total > inter_only
+        assert total == pytest.approx(
+            hier._max_over_groups("reduce_time", nbytes)
+            + inter_only
+            + hier._max_over_groups("broadcast_time", nbytes)
+        )
+
+    def test_chain_beats_flat_ring_under_wan_bottleneck(self):
+        # A flat ring drags all 8 workers across the WAN; the hierarchical
+        # schedule only sends the 3 group leaders across it — the reduction
+        # structure the paper's Fig. 4 testbed is built to exercise.
+        topo = build_paper_topology(wan_bandwidth=100 * MBPS)
+        nbytes = 1e7
+        assert topo.hierarchical_all_reduce_time(nbytes) < topo.to_network_model().ring_all_reduce_time(nbytes)
+
+    def test_all_costs_positive_and_zero_safe(self):
+        hier = build_paper_topology(wan_bandwidth=100 * MBPS).cost_model()
+        for method in COLLECTIVE_METHODS:
+            assert getattr(hier, method)(1e6) > 0.0
+            assert getattr(hier, method)(0.0) == 0.0
+
+    def test_process_group_accepts_hierarchical_model(self, rng):
+        topo = build_paper_topology(wan_bandwidth=100 * MBPS, num_servers=4)
+        group = ProcessGroup(4, topo.cost_model())
+        group.all_reduce([rng.standard_normal(64) for _ in range(4)])
+        assert group.total_time > 0.0
+
+    def test_single_server_topology(self):
+        topo = ClusterTopology()
+        topo.add_switch("sw")
+        topo.add_server("S1")
+        topo.add_link("S1", "sw", LinkSpec(1 * GBPS))
+        hier = topo.cost_model()
+        assert hier.world_size == 1
+        for method in COLLECTIVE_METHODS:
+            assert getattr(hier, method)(1e6) == 0.0
+
+    def test_requires_servers(self):
+        with pytest.raises(ValueError):
+            HierarchicalCostModel(ClusterTopology())
 
 
 class TestCollectives:

@@ -1,0 +1,167 @@
+"""Event-driven simulation engine: heap, channel, schedules, bucket fractions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ddp import DistributedDataParallel
+from repro.ddp.bucket import build_buckets
+from repro.nn.models import mlp_tiny, resnet18_mini, vgg19_mini
+from repro.simulation import ComputeModel, estimate_parameter_flops
+from repro.simulation.engine import (
+    BUCKET_READY,
+    EventHeap,
+    LinkChannel,
+    SimEvent,
+    SimulationEngine,
+)
+
+
+class TestEventHeap:
+    def test_pops_in_time_order(self):
+        heap = EventHeap()
+        heap.push(SimEvent(time=2.0, kind=BUCKET_READY, bucket=1))
+        heap.push(SimEvent(time=1.0, kind=BUCKET_READY, bucket=0))
+        heap.push(SimEvent(time=3.0, kind=BUCKET_READY, bucket=2))
+        assert [heap.pop().bucket for _ in range(3)] == [0, 1, 2]
+
+    def test_ties_break_by_insertion_order(self):
+        heap = EventHeap()
+        for bucket in range(5):
+            heap.push(SimEvent(time=1.0, kind=BUCKET_READY, bucket=bucket))
+        assert [heap.pop().bucket for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_len_and_bool(self):
+        heap = EventHeap()
+        assert not heap and len(heap) == 0
+        heap.push(SimEvent(time=0.0, kind=BUCKET_READY, bucket=0))
+        assert heap and len(heap) == 1
+
+    def test_rejects_negative_time_and_empty_pop(self):
+        heap = EventHeap()
+        with pytest.raises(ValueError):
+            heap.push(SimEvent(time=-1.0, kind=BUCKET_READY, bucket=0))
+        with pytest.raises(IndexError):
+            heap.pop()
+
+
+class TestLinkChannel:
+    def test_serialises_transfers(self):
+        channel = LinkChannel()
+        assert channel.acquire(0.0, 1.0) == (0.0, 1.0)
+        # Ready at 0.5 but the channel is busy until 1.0.
+        assert channel.acquire(0.5, 2.0) == (1.0, 3.0)
+        # Ready after the channel freed up: starts immediately.
+        assert channel.acquire(5.0, 1.0) == (5.0, 6.0)
+        assert channel.busy_seconds == pytest.approx(4.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            LinkChannel().acquire(0.0, -1.0)
+
+
+class TestIterationSchedule:
+    def test_no_overlap_equals_serial_sum_exactly(self):
+        engine = SimulationEngine(overlap=False)
+        trace = engine.run_iteration([0.25, 0.25], [0.4, 0.8, 1.0], [0.1, 0.2, 0.3])
+        assert trace.wall_time == 0.25 + (0.1 + 0.2 + 0.3)
+        assert trace.overlap_saved == 0.0
+        assert trace.overlap_fraction == 0.0
+
+    def test_overlap_hides_early_bucket_comm(self):
+        engine = SimulationEngine(overlap=True)
+        trace = engine.run_iteration([0.1, 0.1], [0.3, 0.7, 1.0], [0.05, 0.02, 0.03])
+        # bucket 0 ready at 0.03, done 0.08; bucket 1 ready 0.07 queued to
+        # 0.08, done 0.10; bucket 2 ready at 0.10 (backward end), done 0.13.
+        assert trace.wall_time == pytest.approx(0.13)
+        assert trace.wall_time < trace.compute_span + trace.comm_busy
+        assert trace.overlap_saved == pytest.approx(0.07)
+        assert trace.comm_exposed == pytest.approx(0.03)
+        assert trace.buckets[1].queue_delay == pytest.approx(0.01)
+
+    def test_single_bucket_cannot_overlap(self):
+        trace = SimulationEngine(overlap=True).run_iteration([0.1], [1.0], [0.5])
+        assert trace.wall_time == pytest.approx(0.6)
+        assert trace.overlap_saved == 0.0
+
+    def test_zero_comm_wall_is_compute(self):
+        trace = SimulationEngine(overlap=True).run_iteration([0.4, 0.2], [0.5, 1.0], [0.0, 0.0])
+        assert trace.wall_time == pytest.approx(0.4)
+        assert trace.comm_busy == 0.0
+
+    def test_straggler_gates_bucket_readiness(self):
+        trace = SimulationEngine(overlap=True).run_iteration([0.1, 0.3], [0.5, 1.0], [0.05, 0.05])
+        assert trace.compute_span == pytest.approx(0.3)
+        assert trace.straggler_slack == pytest.approx(0.2)
+        # Bucket 0 waits for the straggler's half-done backward: 0.3 * 0.5.
+        assert trace.buckets[0].ready_time == pytest.approx(0.15)
+
+    def test_collectives_launch_in_bucket_order(self):
+        trace = SimulationEngine(overlap=True).run_iteration(
+            [1.0], [0.2, 0.4, 0.6, 1.0], [0.5, 0.1, 0.1, 0.1]
+        )
+        starts = [bucket.start_time for bucket in trace.buckets]
+        assert starts == sorted(starts)
+        assert [bucket.index for bucket in trace.buckets] == [0, 1, 2, 3]
+
+    def test_wall_never_below_compute_or_exposed_comm(self):
+        trace = SimulationEngine(overlap=True).run_iteration(
+            [0.2, 0.25], [0.1, 0.5, 1.0], [0.3, 0.2, 0.1]
+        )
+        assert trace.wall_time >= trace.compute_span
+        assert trace.wall_time >= trace.comm_busy
+        assert 0.0 <= trace.overlap_fraction <= 1.0
+
+    def test_validation(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.run_iteration([], [1.0], [0.1])
+        with pytest.raises(ValueError):
+            engine.run_iteration([0.1], [1.0], [0.1, 0.2])
+        with pytest.raises(ValueError):
+            engine.run_iteration([-0.1], [1.0], [0.1])
+        with pytest.raises(ValueError):
+            engine.run_iteration([0.1], [1.0], [-0.1])
+        with pytest.raises(ValueError):
+            engine.run_iteration([0.1], [0.8, 0.4], [0.1, 0.1])  # not monotone
+        with pytest.raises(ValueError):
+            engine.run_iteration([0.1], [0.5, 1.5], [0.1, 0.1])  # above 1.0
+
+
+class TestBucketFractions:
+    def test_cumulative_monotone_ending_at_one(self):
+        model = resnet18_mini(seed=0)
+        buckets = build_buckets(model, bucket_cap_bytes=8 * 1024)
+        assert len(buckets) > 1
+        fractions = ComputeModel().bucket_completion_fractions(model, (3, 8, 8), buckets)
+        assert len(fractions) == len(buckets)
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] == 1.0
+        # The first bucket must leave room for overlap: ready strictly before
+        # the end of the pass, but no earlier than the forward pass.
+        assert ComputeModel().forward_fraction <= fractions[0] < 1.0
+
+    def test_single_bucket_is_ready_at_the_end(self):
+        model = mlp_tiny(seed=0)
+        buckets = build_buckets(model)  # default 25 MiB cap: one bucket
+        assert len(buckets) == 1
+        fractions = ComputeModel().bucket_completion_fractions(model, (3, 8, 8), buckets)
+        assert fractions == [1.0]
+
+    def test_empty_bucket_list(self):
+        assert ComputeModel().bucket_completion_fractions(mlp_tiny(seed=0), (3, 8, 8), []) == []
+
+    def test_parameter_flops_cover_model(self):
+        model = vgg19_mini(seed=0)
+        shares = estimate_parameter_flops(model, (3, 8, 8))
+        names = {name for name, _ in model.named_parameters()}
+        assert set(shares) == names
+        assert sum(shares.values()) > 0
+        assert all(value >= 0 for value in shares.values())
+
+    def test_fractions_align_with_ddp_buckets(self):
+        model = vgg19_mini(seed=0)
+        ddp = DistributedDataParallel(model, world_size=2, bucket_cap_bytes=16 * 1024)
+        fractions = ComputeModel().bucket_completion_fractions(model, (3, 8, 8), ddp.buckets)
+        assert len(fractions) == len(ddp.buckets)
+        assert fractions[-1] == 1.0

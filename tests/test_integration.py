@@ -8,11 +8,9 @@ and does not destroy accuracy at moderate pruning ratios.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.metrics import speedup_table
-from repro.pactrain import PacTrainCompressor
 from repro.simulation import ClusterSpec, ExperimentConfig, MethodSpec, PAPER_METHODS, run_experiment
 
 

@@ -10,7 +10,6 @@ from repro.comm.network import MBPS
 from repro.compression import NoCompression
 from repro.compression.base import exact_average
 from repro.ddp.bucket import Bucket, BucketSlice, GradBucket
-from repro.metrics import nmse
 from repro.pactrain import MaskTracker, PacTrainCompressor, PacTrainConfig, PacTrainTrainer
 from repro.simulation import ClusterSpec
 

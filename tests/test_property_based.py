@@ -30,7 +30,6 @@ from repro.compression.codec import (
     pack_ternary,
     unpack_ternary,
 )
-from repro.compression.codec.stages import EncodeContext
 from repro.compression.terngrad import ternarize
 from repro.compression.topk import top_k_indices
 from repro.ddp.bucket import Bucket, BucketSlice, GradBucket
@@ -368,3 +367,77 @@ class TestNMSEProperties:
     @settings(max_examples=50, deadline=None)
     def test_nmse_nonnegative(self, values):
         assert nmse(values, np.zeros_like(values)) >= 0.0
+
+
+class TestCollectiveCostProperties:
+    """Monotonicity invariants the engine relies on, for both cost backends."""
+
+    @staticmethod
+    def _models(world_size):
+        from repro.comm import build_paper_topology
+
+        flat = NetworkModel.from_bandwidth(world_size, 100e6 / 8.0, latency=1e-4)
+        hier = build_paper_topology(
+            wan_bandwidth=100e6 / 8.0, num_servers=world_size, num_switches=min(3, world_size)
+        ).cost_model()
+        return flat, hier
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.floats(min_value=0.0, max_value=1e8, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e8, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_costs_monotone_in_bytes(self, world_size, a, b):
+        small, large = sorted((a, b))
+        for model in self._models(world_size):
+            for method in (
+                "ring_all_reduce_time",
+                "all_gather_time",
+                "reduce_scatter_time",
+                "broadcast_time",
+                "reduce_time",
+                "gather_time",
+            ):
+                low = getattr(model, method)(small)
+                high = getattr(model, method)(large)
+                assert 0.0 <= low <= high
+
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=32),
+        st.floats(min_value=1.0, max_value=1e8, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_flat_costs_monotone_in_world_size(self, n_a, n_b, num_bytes):
+        small, large = sorted((n_a, n_b))
+        few = NetworkModel.from_bandwidth(small, 100e6 / 8.0, latency=1e-4)
+        many = NetworkModel.from_bandwidth(large, 100e6 / 8.0, latency=1e-4)
+        for method in (
+            "ring_all_reduce_time",
+            "all_gather_time",
+            "reduce_scatter_time",
+            "broadcast_time",
+            "reduce_time",
+            "gather_time",
+        ):
+            assert getattr(few, method)(num_bytes) <= getattr(many, method)(num_bytes)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False), min_size=1, max_size=8),
+        st.lists(st.floats(min_value=0.0, max_value=5.0, allow_nan=False), min_size=1, max_size=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_engine_wall_bounded_by_serial_and_critical_path(self, computes, comm_times):
+        from repro.simulation.engine import SimulationEngine
+
+        buckets = len(comm_times)
+        fractions = [(index + 1) / buckets for index in range(buckets)]
+        overlapped = SimulationEngine(overlap=True).run_iteration(computes, fractions, comm_times)
+        serial = SimulationEngine(overlap=False).run_iteration(computes, fractions, comm_times)
+        # Overlap never hurts, never beats the critical path.
+        assert overlapped.wall_time <= serial.wall_time + 1e-12
+        assert overlapped.wall_time >= max(computes) - 1e-12
+        assert overlapped.wall_time >= serial.comm_busy - 1e-12
+        assert serial.wall_time == max(computes) + serial.comm_busy
+        assert overlapped.overlap_saved >= 0.0

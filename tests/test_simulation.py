@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.nn.models import mlp_tiny, resnet18_mini, vgg19_mini
@@ -18,6 +17,7 @@ from repro.simulation import (
     estimate_model_flops,
     evaluate_accuracy,
     run_experiment,
+    train_distributed,
 )
 from repro.simulation.compute import DEVICE_PRESETS
 from repro.simulation.experiment import run_method_comparison
@@ -225,3 +225,162 @@ class TestExperimentDriver:
             ExperimentConfig(epochs=0)
         with pytest.raises(ValueError):
             ExperimentConfig(batch_size=0)
+
+
+class TestEngineIntegration:
+    """Acceptance criteria for the event-driven engine refactor."""
+
+    def _config(self, cluster: ClusterSpec, **overrides) -> ExperimentConfig:
+        settings = dict(
+            model="resnet18",
+            dataset="cifar10",
+            cluster=cluster,
+            epochs=1,
+            batch_size=16,
+            dataset_samples=96,
+            pretrain_iterations=2,
+            max_iterations_per_epoch=2,
+            seed=0,
+            bucket_cap_bytes=8 * 1024,  # multi-bucket layout for the mini models
+        )
+        settings.update(overrides)
+        return ExperimentConfig(**settings)
+
+    @pytest.mark.parametrize("method_name", sorted(PAPER_METHODS))
+    def test_overlap_disabled_reproduces_seed_time_exactly(self, method_name):
+        """Overlap off + homogeneous flat cluster == the pre-refactor model.
+
+        The seed computed ``simulated_time = compute_time + comm_time``; the
+        engine must reproduce that to float equality (not approx) for every
+        paper method, so all pre-engine figures remain valid.
+        """
+        config = self._config(ClusterSpec(world_size=2, bandwidth="100Mbps"))
+        result = run_experiment(config, PAPER_METHODS[method_name])
+        assert result.simulated_time == result.compute_time + result.comm_time
+        assert result.overlap_fraction == 0.0
+        assert result.critical_path_time == pytest.approx(result.simulated_time)
+
+    def test_overlap_strictly_beats_serial_schedule(self):
+        method = PAPER_METHODS["all-reduce"]
+        serial = run_experiment(
+            self._config(ClusterSpec(world_size=4, bandwidth="100Mbps")), method
+        )
+        overlapped = run_experiment(
+            self._config(ClusterSpec(world_size=4, bandwidth="100Mbps", overlap=True)), method
+        )
+        # Same training run, same busy times — only the schedule differs.
+        assert overlapped.compute_time == serial.compute_time
+        assert overlapped.comm_time == serial.comm_time
+        assert overlapped.comm_time > 0
+        assert overlapped.simulated_time < overlapped.compute_time + overlapped.comm_time
+        assert overlapped.simulated_time < serial.simulated_time
+        assert overlapped.overlap_fraction > 0
+        assert overlapped.critical_path_time == pytest.approx(overlapped.simulated_time)
+
+    def test_single_bucket_layout_cannot_overlap(self):
+        cluster = ClusterSpec(world_size=2, bandwidth="100Mbps", overlap=True)
+        config = self._config(cluster, model="mlp", bucket_cap_bytes=25 * 1024 * 1024)
+        result = run_experiment(config, PAPER_METHODS["all-reduce"])
+        assert result.overlap_fraction == 0.0
+        assert result.simulated_time == pytest.approx(result.compute_time + result.comm_time)
+
+    def test_straggler_stretches_iteration_and_is_reported(self):
+        method = PAPER_METHODS["all-reduce"]
+        base = run_experiment(
+            self._config(ClusterSpec(world_size=4, bandwidth="100Mbps", overlap=True)), method
+        )
+        straggler = run_experiment(
+            self._config(
+                ClusterSpec(world_size=4, bandwidth="100Mbps", overlap=True, straggler=2.0)
+            ),
+            method,
+        )
+        assert straggler.simulated_time > base.simulated_time
+        assert straggler.straggler_time > 0
+        assert base.straggler_time == 0.0
+
+    def test_heterogeneous_devices_follow_the_slowest(self):
+        slow = DeviceSpec("slow", 1.0e9)
+        fast = DeviceSpec("fast", 4.0e9)
+        uniform_slow = run_experiment(
+            self._config(ClusterSpec(world_size=2, bandwidth="100Mbps", device=slow)),
+            PAPER_METHODS["all-reduce"],
+        )
+        mixed = run_experiment(
+            self._config(
+                ClusterSpec(world_size=2, bandwidth="100Mbps", devices=[fast, slow])
+            ),
+            PAPER_METHODS["all-reduce"],
+        )
+        # The iteration critical path is the slow rank either way.
+        assert mixed.compute_time == pytest.approx(uniform_slow.compute_time)
+        assert mixed.straggler_time > 0
+
+    def test_hierarchical_collectives_change_comm_time_only(self):
+        method = PAPER_METHODS["all-reduce"]
+        flat = run_experiment(
+            self._config(ClusterSpec(world_size=8, bandwidth="100Mbps")), method
+        )
+        hier = run_experiment(
+            self._config(ClusterSpec(world_size=8, bandwidth="100Mbps", hierarchical=True)),
+            method,
+        )
+        assert hier.compute_time == flat.compute_time
+        assert hier.comm_time != flat.comm_time
+        assert hier.comm_bytes_per_worker == flat.comm_bytes_per_worker
+
+    def test_reached_target_surfaced_and_drives_tta_or_total(self):
+        config = self._config(
+            ClusterSpec(world_size=2, bandwidth="100Mbps"), target_accuracy=0.01, epochs=2
+        )
+        reached = run_experiment(config, PAPER_METHODS["all-reduce"])
+        assert reached.reached_target
+        assert reached.tta is not None
+        assert reached.tta_or_total() == reached.tta
+
+        config = self._config(
+            ClusterSpec(world_size=2, bandwidth="100Mbps"), target_accuracy=1.1, epochs=2
+        )
+        missed = run_experiment(config, PAPER_METHODS["all-reduce"])
+        assert not missed.reached_target
+        assert missed.tta is None
+        assert missed.tta_or_total() == missed.simulated_time
+
+    def test_timeline_records_iteration_traces(self, tiny_split):
+        train, test = tiny_split
+        cluster = ClusterSpec(world_size=2, bandwidth="100Mbps", overlap=True)
+        timeline, ddp, _, reached = train_distributed(
+            model=resnet18_mini(seed=0),
+            train_dataset=train,
+            test_loader=DataLoader(test, batch_size=8),
+            method=PAPER_METHODS["all-reduce"],
+            cluster=cluster,
+            epochs=1,
+            batch_size=8,
+            lr=0.05,
+            max_iterations_per_epoch=2,
+            bucket_cap_bytes=8 * 1024,
+        )
+        assert not reached  # no target was set
+        assert len(timeline.traces) == timeline.iterations == 2
+        assert len(ddp.buckets) > 1
+        trace = timeline.traces[0]
+        assert len(trace.buckets) == len(ddp.buckets)
+        assert trace.overlap_saved > 0
+        assert timeline.overlap_fraction > 0
+        assert timeline.critical_path_time() == pytest.approx(timeline.total_time)
+
+    def test_cluster_heterogeneity_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(world_size=2, devices=["sim-gpu"])
+        with pytest.raises(ValueError):
+            ClusterSpec(world_size=2, straggler=0.0)
+        with pytest.raises(ValueError):
+            ClusterSpec(world_size=2, straggler_factors=[1.0])
+        with pytest.raises(ValueError):
+            ClusterSpec(world_size=2, straggler_factors=[1.0, -1.0])
+        spec = ClusterSpec(world_size=3, straggler=2.0)
+        assert spec.straggler_multipliers() == [1.0, 1.0, 2.0]
+        assert spec.is_heterogeneous
+        assert not ClusterSpec(world_size=3).is_heterogeneous
+        assert ClusterSpec(world_size=2, straggler_factors=[1.0, 3.0]).straggler_multipliers() == [1.0, 3.0]
