@@ -1,6 +1,6 @@
 """Ablation — which pieces of PacTrain matter (our addition, not a paper figure).
 
-DESIGN.md calls out three design choices whose contribution is worth isolating:
+Three design choices whose contribution is worth isolating:
 
 * **GSE** (Eq. 2): without it, pruned weights regrow and the gradient sparsity
   pattern never stabilises, so the compressor stays on the full-sync path.
@@ -10,46 +10,70 @@ DESIGN.md calls out three design choices whose contribution is worth isolating:
   waits before trusting a pattern — lower switches to compact mode sooner but
   risks resyncs, higher wastes full-precision iterations.
 
-All variants train the ResNet-18 stand-in at 500 Mbps.
+All variants train the ResNet-18 stand-in at 500 Mbps, declared as a one-axis
+campaign over the variant table.
 """
 
 from __future__ import annotations
 
-from benchmarks.common import experiment_config, print_table, summarise_for_extra_info, tta_label
-from repro.simulation import MethodSpec, run_experiment
+from benchmarks.common import (
+    bench_base,
+    model_target,
+    print_table,
+    run_bench_campaign,
+    summarise_for_extra_info,
+    tta_label,
+)
+from repro.campaign import CampaignSpec
+from repro.simulation import MethodSpec
 
 EPOCHS = 6
 
+#: Variant label -> method.  Labels are what the printed table shows; the
+#: MethodSpec names are what the result store records.
+VARIANTS = {
+    "pactrain (full)": MethodSpec(
+        name="pactrain", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=True
+    ),
+    "no quantisation": MethodSpec(
+        name="pactrain-fp32", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=False
+    ),
+    "no GSE": MethodSpec(
+        name="pactrain-nogse", compressor="pactrain", pruning_ratio=0.5, gse=False, quantize=True
+    ),
+    "no pruning": MethodSpec(
+        name="pactrain-dense", compressor="pactrain", pruning_ratio=0.0, gse=False, quantize=True
+    ),
+    "threshold=1": MethodSpec(
+        name="pactrain-t1", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=True,
+        stability_threshold=1,
+    ),
+    "threshold=8": MethodSpec(
+        name="pactrain-t8", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=True,
+        stability_threshold=8,
+    ),
+    "all-reduce baseline": MethodSpec(name="all-reduce", compressor="allreduce"),
+}
 
-def _variants() -> dict:
-    return {
-        "pactrain (full)": MethodSpec(
-            name="pactrain", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=True
+
+def ablation_campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="ablation-pactrain",
+        base=bench_base(
+            bandwidth="500Mbps",
+            epochs=EPOCHS,
+            model="resnet18",
+            target_accuracy=model_target("resnet18"),
         ),
-        "no quantisation": MethodSpec(
-            name="pactrain-fp32", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=False
-        ),
-        "no GSE": MethodSpec(
-            name="pactrain-nogse", compressor="pactrain", pruning_ratio=0.5, gse=False, quantize=True
-        ),
-        "no pruning": MethodSpec(
-            name="pactrain-dense", compressor="pactrain", pruning_ratio=0.0, gse=False, quantize=True
-        ),
-        "threshold=1": MethodSpec(
-            name="pactrain-t1", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=True,
-            stability_threshold=1,
-        ),
-        "threshold=8": MethodSpec(
-            name="pactrain-t8", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=True,
-            stability_threshold=8,
-        ),
-        "all-reduce baseline": MethodSpec(name="all-reduce", compressor="allreduce"),
-    }
+        axes={"method": list(VARIANTS)},
+        methods=VARIANTS,
+    )
 
 
 def run_ablation() -> dict:
-    config = experiment_config("resnet18", bandwidth="500Mbps", epochs=EPOCHS)
-    return {label: run_experiment(config, spec) for label, spec in _variants().items()}
+    report = run_bench_campaign(ablation_campaign())
+    by_name = {result.method: result for result in report.results()}
+    return {label: by_name[spec.name] for label, spec in VARIANTS.items()}
 
 
 def bench_ablation_pactrain_components(benchmark):

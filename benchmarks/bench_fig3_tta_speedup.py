@@ -6,11 +6,11 @@ methods (all-reduce, fp16, topk-0.1, topk-0.01, PacTrain) at 100 Mbps, 500 Mbps
 and 1 Gbps bottleneck bandwidth, and reported relative to native all-reduce
 (log-scale bars in the paper; a table of the same ratios here).
 
-One benchmark case per bandwidth (Fig. 3a / 3b / 3c).  Each case trains the
-four mini models under all five methods with real optimisation and modeled
-time.  The printed table also includes the speedup matrix from which the
-paper's "1.25–8.72x" abstract claim is derived; the measured counterpart is
-recorded in EXPERIMENTS.md.
+One benchmark case per bandwidth (Fig. 3a / 3b / 3c).  Each case is a campaign
+declaration: the model axis (zipped with its per-model TTA target) crossed
+with the method axis, executed through the shared result store — unchanged
+cells are cache hits on re-runs.  The printed table also includes the speedup
+matrix from which the paper's "1.25–8.72x" abstract claim is derived.
 """
 
 from __future__ import annotations
@@ -19,27 +19,36 @@ import pytest
 
 from benchmarks.common import (
     PAPER_MODELS,
-    experiment_config,
+    bench_base,
+    model_target,
     print_table,
     relative_tta_label,
     report_line,
+    run_bench_campaign,
     speedup_label,
     summarise_for_extra_info,
 )
-from repro.simulation import PAPER_METHODS, run_experiment
+from repro.campaign import CampaignSpec
 
 METHOD_ORDER = ("all-reduce", "fp16", "topk-0.1", "topk-0.01", "pactrain")
 
 
+def fig3_campaign(bandwidth: str) -> CampaignSpec:
+    """Every (model, method) pair at one bottleneck bandwidth."""
+    return CampaignSpec(
+        name=f"fig3-{bandwidth}",
+        base=bench_base(bandwidth=bandwidth),
+        zipped={
+            "model": list(PAPER_MODELS),
+            "target_accuracy": [model_target(model) for model in PAPER_MODELS],
+        },
+        axes={"method": list(METHOD_ORDER)},
+    )
+
+
 def run_bandwidth(bandwidth: str) -> dict:
-    """Train every (model, method) pair at one bottleneck bandwidth."""
-    results = {}
-    for model in PAPER_MODELS:
-        config = experiment_config(model, bandwidth=bandwidth)
-        for method_name in METHOD_ORDER:
-            key = f"{model}/{method_name}"
-            results[key] = run_experiment(config, PAPER_METHODS[method_name])
-    return results
+    report = run_bench_campaign(fig3_campaign(bandwidth))
+    return {f"{r.model}/{r.method}": r for r in report.results()}
 
 
 def _report(bandwidth: str, results: dict, benchmark) -> None:

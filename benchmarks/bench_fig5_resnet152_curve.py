@@ -2,35 +2,44 @@
 
 The paper plots test accuracy against wall-clock minutes for the CIFAR-10 /
 ResNet-152 workload at 1 Gbps and reports PacTrain reaching the 84 % target
-5.64x faster than all-reduce and 3.28x faster than fp16.  This benchmark trains
-the ResNet-152 stand-in under the same five methods, prints the accuracy trace
-(one row per epoch: simulated time, accuracy) for each method, and reports the
-measured speedups at the scaled target accuracy.
+5.64x faster than all-reduce and 3.28x faster than fp16.  This benchmark is a
+one-axis campaign (the method axis) over the ResNet-152 stand-in: it prints
+the accuracy trace (one row per epoch: simulated time, accuracy) for each
+method and reports the measured speedups at the scaled target accuracy.
 """
 
 from __future__ import annotations
 
 from benchmarks.common import (
-    experiment_config,
+    bench_base,
     print_table,
+    run_bench_campaign,
     summarise_for_extra_info,
     tta_label,
 )
-from repro.simulation import PAPER_METHODS, run_experiment
+from repro.campaign import CampaignSpec
 
 METHOD_ORDER = ("all-reduce", "fp16", "topk-0.1", "topk-0.01", "pactrain")
 TARGET_ACCURACY = 0.6
 EPOCHS = 8
 
 
-def run_fig5() -> dict:
-    config = experiment_config(
-        "resnet152",
-        bandwidth="1Gbps",
-        epochs=EPOCHS,
-        target_accuracy=TARGET_ACCURACY,
+def fig5_campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="fig5-resnet152",
+        base=bench_base(
+            bandwidth="1Gbps",
+            epochs=EPOCHS,
+            model="resnet152",
+            target_accuracy=TARGET_ACCURACY,
+        ),
+        axes={"method": list(METHOD_ORDER)},
     )
-    return {name: run_experiment(config, PAPER_METHODS[name]) for name in METHOD_ORDER}
+
+
+def run_fig5() -> dict:
+    report = run_bench_campaign(fig5_campaign())
+    return {result.method: result for result in report.results()}
 
 
 def bench_fig5_resnet152_time_to_accuracy(benchmark):

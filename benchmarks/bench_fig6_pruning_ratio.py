@@ -4,16 +4,18 @@ The paper sweeps the pruning ratio from 0.0 to 0.99 for VGG19, ResNet18,
 ResNet152 and ViT-Base-16 on CIFAR-10 and reports the final accuracy, observing
 that accuracy degradation is minimal below ~80 % pruning and that ResNet-152
 loses less than 2 points at 80 %.  This benchmark performs the same sweep on
-the mini stand-ins (PacTrain training with GSE at every ratio) and prints the
-accuracy matrix.
+the mini stand-ins as a per-model campaign whose method axis enumerates one
+PacTrain variant per pruning ratio (GSE on whenever pruning is), and prints
+the accuracy matrix.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import PAPER_MODELS, experiment_config, print_table
-from repro.simulation import MethodSpec, run_experiment
+from benchmarks.common import PAPER_MODELS, bench_base, print_table, run_bench_campaign
+from repro.campaign import CampaignSpec
+from repro.simulation import MethodSpec
 
 #: Pruning ratios from the paper's Fig. 6 x-axis (subsampled to keep CPU time
 #: reasonable; the end points and the 0.8 knee are all included).
@@ -21,24 +23,30 @@ PRUNING_RATIOS = (0.0, 0.3, 0.5, 0.7, 0.8, 0.9, 0.99)
 EPOCHS = 6
 
 
-def run_model_sweep(model: str) -> dict:
-    config = experiment_config(
-        model,
-        bandwidth="1Gbps",
-        epochs=EPOCHS,
-        target_accuracy=None,
+def _ratio_method(ratio: float) -> MethodSpec:
+    return MethodSpec(
+        name=f"pactrain-{ratio:g}",
+        compressor="pactrain" if ratio > 0 else "allreduce",
+        pruning_ratio=ratio,
+        gse=ratio > 0,
+        quantize=False,
     )
-    results = {}
-    for ratio in PRUNING_RATIOS:
-        method = MethodSpec(
-            name=f"pactrain-{ratio:g}",
-            compressor="pactrain" if ratio > 0 else "allreduce",
-            pruning_ratio=ratio,
-            gse=ratio > 0,
-            quantize=False,
-        )
-        results[ratio] = run_experiment(config, method)
-    return results
+
+
+def fig6_campaign(model: str) -> CampaignSpec:
+    methods = {f"pactrain-{ratio:g}": _ratio_method(ratio) for ratio in PRUNING_RATIOS}
+    return CampaignSpec(
+        name=f"fig6-{model}",
+        base=bench_base(bandwidth="1Gbps", epochs=EPOCHS, model=model, target_accuracy=None),
+        axes={"method": list(methods)},
+        methods=methods,
+    )
+
+
+def run_model_sweep(model: str) -> dict:
+    report = run_bench_campaign(fig6_campaign(model))
+    by_name = {result.method: result for result in report.results()}
+    return {ratio: by_name[f"pactrain-{ratio:g}"] for ratio in PRUNING_RATIOS}
 
 
 @pytest.mark.parametrize("model", PAPER_MODELS)
@@ -70,7 +78,7 @@ def bench_fig6_pruning_ratio_vs_accuracy(benchmark, model):
     # Qualitative shape: moderate pruning is benign, extreme pruning is not.
     # The tolerance is loose (0.3): the mini models have far less redundancy
     # than the paper's full-size networks and the test split is only 64 images,
-    # so per-run accuracy noise is a few points by itself (see EXPERIMENTS.md).
+    # so per-run accuracy noise is a few points by itself.
     assert results[0.5].final_accuracy >= dense_accuracy - 0.3, (
         f"{model}: 50% pruning should not collapse accuracy"
     )

@@ -4,7 +4,8 @@ The paper's Table 1 is a qualitative comparison of PacTrain against other
 gradient-compression / sparse-collective methods along three axes: convergence
 speed, all-reduce compatibility, and whether the method improves
 Time-To-Accuracy.  This benchmark measures those three properties empirically
-on a common workload (the ResNet-18 stand-in at 100 Mbps) and prints the resulting table.
+on a common workload (the ResNet-18 stand-in at 100 Mbps, declared as a
+one-axis campaign over the method table) and prints the resulting table.
 
 * Convergence — final accuracy after a fixed number of epochs, compared to the
   all-reduce baseline (within 2 points = "OK", below = "worse").
@@ -15,17 +16,24 @@ on a common workload (the ResNet-18 stand-in at 100 Mbps) and prints the resulti
 
 from __future__ import annotations
 
-import pytest
-
-from benchmarks.common import experiment_config, print_table, summarise_for_extra_info, tta_label
-from repro.compression import build_compressor
-from repro.simulation import MethodSpec, run_experiment
+from benchmarks.common import (
+    bench_base,
+    model_target,
+    print_table,
+    run_bench_campaign,
+    summarise_for_extra_info,
+    tta_label,
+)
+from repro.campaign import CampaignSpec
+from repro.simulation import MethodSpec
 
 #: Methods included in our reproduction of Table 1.  THC, OmniReduce and Zen
 #: have no open implementations to port in this environment; DGC and TernGrad
 #: (both named in Table 1) plus the paper's evaluation baselines are included.
 TABLE1_METHODS = {
-    "pactrain": MethodSpec(name="pactrain", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=True),
+    "pactrain": MethodSpec(
+        name="pactrain", compressor="pactrain", pruning_ratio=0.5, gse=True, quantize=True
+    ),
     "terngrad": MethodSpec(name="terngrad", compressor="terngrad"),
     "dgc-0.01": MethodSpec(name="dgc-0.01", compressor="dgc-0.01"),
     "topk-0.01": MethodSpec(name="topk-0.01", compressor="topk-0.01"),
@@ -45,12 +53,22 @@ PAPER_COMPATIBILITY = {
 }
 
 
+def table1_campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="table1",
+        base=bench_base(
+            bandwidth="100Mbps",
+            model="resnet18",
+            target_accuracy=model_target("resnet18"),
+        ),
+        axes={"method": list(TABLE1_METHODS)},
+        methods=TABLE1_METHODS,
+    )
+
+
 def run_table1() -> dict:
-    config = experiment_config("resnet18", bandwidth="100Mbps")
-    results = {}
-    for name, method in TABLE1_METHODS.items():
-        results[name] = run_experiment(config, method)
-    return results
+    report = run_bench_campaign(table1_campaign())
+    return {result.method: result for result in report.results()}
 
 
 def bench_table1_method_properties(benchmark):

@@ -1,11 +1,16 @@
 """Shared configuration and reporting helpers for the benchmark harness.
 
-Every benchmark regenerates one table or figure from the paper's evaluation
-(see DESIGN.md, "Experiment index").  The workloads are the CPU-scale stand-ins
-described in DESIGN.md (mini model variants, synthetic CIFAR); the quantities
-reported — relative TTA, accuracy-vs-time traces, accuracy-vs-pruning-ratio,
-wire bytes — are the same ones the paper plots, and EXPERIMENTS.md records the
-paper-vs-measured comparison for each.
+Every benchmark regenerates one table or figure from the paper's evaluation.
+The workloads are CPU-scale stand-ins (mini model variants, synthetic CIFAR);
+the quantities reported — relative TTA, accuracy-vs-time traces,
+accuracy-vs-pruning-ratio, wire bytes — are the same ones the paper plots.
+
+Since the campaign refactor the training benchmarks are thin declarations over
+:mod:`repro.campaign`: each one states its sweep as a :class:`CampaignSpec`
+and executes it through :func:`run_bench_campaign`, which runs against the
+persistent result store under ``benchmarks/results/`` — re-running a benchmark
+with unchanged code serves every cell from cache, and ``REPRO_BENCH_JOBS=N``
+trains pending cells in N worker processes.
 
 The benchmark functions use ``benchmark.pedantic(..., rounds=1)``: a "round" is
 an entire experiment sweep (many training runs), so repeating it for timing
@@ -16,19 +21,37 @@ printed table plus the ``extra_info`` attached to the benchmark record.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, Optional, Sequence
+import subprocess
+from datetime import datetime, timezone
+from typing import Dict, Iterable, Optional, Sequence, Union
 
+from repro.campaign import CampaignReport, CampaignSpec, ResultStore, run_campaign
 from repro.simulation import ClusterSpec, ExperimentConfig, ExperimentResult
 
 #: Every table printed by a benchmark is also appended to this report file so
-#: the figures survive pytest's output capturing; EXPERIMENTS.md points here.
+#: the figures survive pytest's output capturing.  The directory is gitignored
+#: (``benchmarks/results/``); each run prepends a timestamp + git SHA header
+#: (see :func:`_ensure_run_header`), so the append-only file stays
+#: attributable per run.
 REPORT_PATH = os.path.join(os.path.dirname(__file__), "results", "benchmark_report.txt")
+
+#: Campaign result store shared by all training benchmarks (same directory,
+#: also gitignored).  Delete the file to force full re-runs.
+CAMPAIGN_STORE_PATH = os.path.join(os.path.dirname(__file__), "results", "campaign_store.jsonl")
+
+#: Worker processes for benchmark campaigns: 1 = in-process (default, keeps
+#: timing comparable), N = parallel training, 0 = one worker per CPU.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 #: Models evaluated in the paper's figures, in presentation order.
 PAPER_MODELS = ("vgg19", "resnet18", "resnet152", "vit-base-16")
 
 #: Bottleneck bandwidths evaluated in Fig. 3.
 PAPER_BANDWIDTHS = ("100Mbps", "500Mbps", "1Gbps")
+
+#: Sentinel for ``experiment_config(target_accuracy=...)``: resolve the target
+#: from :data:`MODEL_TARGET_ACCURACY` by model name.
+PER_MODEL = "per-model"
 
 #: Target accuracies used for TTA on the synthetic CIFAR-10 stand-in.  The
 #: paper uses per-model targets on real CIFAR (e.g. 84 % for ResNet-152); the
@@ -54,6 +77,61 @@ BENCH_NOISE_STD = 0.8
 BENCH_PRETRAIN_ITERATIONS = 15
 
 
+def model_target(model: str) -> float:
+    """The per-model TTA target used throughout the figures."""
+    return MODEL_TARGET_ACCURACY.get(model, DEFAULT_TARGET_ACCURACY)
+
+
+def bench_base(
+    bandwidth: str = "1Gbps",
+    epochs: int = 8,
+    world_size: int = 8,
+    batch_size: int = 16,
+    dataset: str = "cifar10",
+    dataset_samples: int = 256,
+    max_iterations_per_epoch: Optional[int] = 2,
+    seed: int = 0,
+    **extra,
+) -> Dict:
+    """Benchmark-scale campaign ``base`` axes (CPU-friendly defaults).
+
+    The campaign analogue of :func:`experiment_config`: cells built from this
+    base are identical to the configs the pre-campaign benchmarks constructed,
+    so cached results and table values carry over run to run.
+    """
+    base: Dict = {
+        "bandwidth": bandwidth,
+        "epochs": epochs,
+        "world_size": world_size,
+        "batch_size": batch_size,
+        "dataset": dataset,
+        "dataset_samples": dataset_samples,
+        "max_iterations_per_epoch": max_iterations_per_epoch,
+        "noise_std": BENCH_NOISE_STD,
+        "pretrain_iterations": BENCH_PRETRAIN_ITERATIONS,
+        "seed": seed,
+    }
+    base.update(extra)
+    return base
+
+
+def campaign_store() -> ResultStore:
+    """The persistent store benchmark campaigns cache into."""
+    return ResultStore(CAMPAIGN_STORE_PATH)
+
+
+def run_bench_campaign(spec: CampaignSpec) -> CampaignReport:
+    """Execute a benchmark campaign against the shared store (fail-fast)."""
+    report = run_campaign(
+        spec,
+        store=campaign_store(),
+        jobs=None if BENCH_JOBS == 0 else BENCH_JOBS,
+    )
+    report.raise_failures()
+    report_line(f"[campaign] {report.summary()}")
+    return report
+
+
 def experiment_config(
     model: str,
     bandwidth: str = "1Gbps",
@@ -63,12 +141,22 @@ def experiment_config(
     dataset: str = "cifar10",
     dataset_samples: int = 256,
     max_iterations_per_epoch: Optional[int] = 2,
-    target_accuracy: Optional[float] = "per-model",
+    target_accuracy: Union[float, str, None] = PER_MODEL,
     seed: int = 0,
 ) -> ExperimentConfig:
-    """Benchmark-scale experiment configuration (CPU-friendly defaults)."""
-    if target_accuracy == "per-model":
-        target_accuracy = MODEL_TARGET_ACCURACY.get(model, DEFAULT_TARGET_ACCURACY)
+    """Benchmark-scale experiment configuration (CPU-friendly defaults).
+
+    ``target_accuracy`` accepts a float, ``None`` (no TTA target) or the
+    :data:`PER_MODEL` sentinel, which resolves the target from
+    :data:`MODEL_TARGET_ACCURACY` by model name; any other string is an error.
+    """
+    if isinstance(target_accuracy, str):
+        if target_accuracy != PER_MODEL:
+            raise ValueError(
+                f"target_accuracy must be a float, None or {PER_MODEL!r}, "
+                f"got {target_accuracy!r}"
+            )
+        target_accuracy = model_target(model)
     return ExperimentConfig(
         model=model,
         dataset=dataset,
@@ -82,6 +170,48 @@ def experiment_config(
         pretrain_iterations=BENCH_PRETRAIN_ITERATIONS,
         seed=seed,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Report file
+# --------------------------------------------------------------------------- #
+_run_header_written = False
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(__file__),
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _ensure_run_header(handle) -> None:
+    """Stamp the first append of this process with a run header.
+
+    The report file is append-only across runs; the timestamp + git SHA header
+    makes every block of tables attributable to the run (and code revision)
+    that produced it.
+    """
+    global _run_header_written
+    if _run_header_written:
+        return
+    _run_header_written = True
+    stamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    handle.write(f"\n##### benchmark run {stamp} (git {_git_sha()}) #####\n")
+
+
+def _append_report(text: str) -> None:
+    os.makedirs(os.path.dirname(REPORT_PATH), exist_ok=True)
+    with open(REPORT_PATH, "a", encoding="utf-8") as handle:
+        _ensure_run_header(handle)
+        handle.write(text + "\n")
 
 
 def format_row(columns: Sequence[str], widths: Sequence[int]) -> str:
@@ -104,19 +234,18 @@ def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[str]]
     lines.extend(format_row(row, widths) for row in rows)
     text = "\n".join(lines)
     print(text)
-    os.makedirs(os.path.dirname(REPORT_PATH), exist_ok=True)
-    with open(REPORT_PATH, "a", encoding="utf-8") as handle:
-        handle.write(text + "\n")
+    _append_report(text)
 
 
 def report_line(text: str) -> None:
     """Print a line and append it to the benchmark report file."""
     print(text)
-    os.makedirs(os.path.dirname(REPORT_PATH), exist_ok=True)
-    with open(REPORT_PATH, "a", encoding="utf-8") as handle:
-        handle.write(text + "\n")
+    _append_report(text)
 
 
+# --------------------------------------------------------------------------- #
+# Result labels
+# --------------------------------------------------------------------------- #
 def tta_label(result: ExperimentResult) -> str:
     """Human-readable TTA: the simulated seconds, or DNC if the target was missed."""
     if result.target_accuracy is None:

@@ -1,51 +1,80 @@
 """Bandwidth sweep: how the benefit of gradient compression depends on the network.
 
-A compact version of the paper's Fig. 3: the same workload (ResNet-18 on the
-synthetic CIFAR-10 stand-in, 8 workers) is trained under every compression
-method at 100 Mbps, 500 Mbps and 1 Gbps bottleneck bandwidth, and the relative
-TTA (normalised to native all-reduce) is printed per bandwidth.
+A compact version of the paper's Fig. 3, declared as a single campaign: the
+same workload (ResNet-18 on the synthetic CIFAR-10 stand-in, 8 workers) is
+trained under every compression method at 100 Mbps, 500 Mbps and 1 Gbps
+bottleneck bandwidth, and the relative TTA (normalised to native all-reduce)
+is printed per bandwidth.
 
-Run with:  python examples/bandwidth_sweep.py
+The campaign runner executes the 15 cells; pass a store path to cache them
+(a second invocation is then pure cache hits) and ``--jobs N`` to train in
+parallel worker processes:
+
+    python examples/bandwidth_sweep.py [--store sweep.jsonl] [--jobs 4]
 """
 
 from __future__ import annotations
 
+import argparse
+
+from repro.campaign import CampaignSpec, ResultStore, run_campaign
 from repro.metrics import speedup_table
-from repro.simulation import ClusterSpec, ExperimentConfig, PAPER_METHODS, run_experiment
+from repro.simulation import PAPER_METHODS
 
 BANDWIDTHS = ("100Mbps", "500Mbps", "1Gbps")
 
 
-def run_sweep(model: str = "resnet18") -> None:
-    print(f"Workload: {model} on synthetic CIFAR-10, 8 workers, target accuracy 0.7\n")
-    for bandwidth in BANDWIDTHS:
-        config = ExperimentConfig(
-            model=model,
-            dataset="cifar10",
-            cluster=ClusterSpec(world_size=8, bandwidth=bandwidth),
-            epochs=4,
-            batch_size=16,
-            dataset_samples=256,
-            max_iterations_per_epoch=4,
-            target_accuracy=0.7,
-            seed=0,
-        )
-        ttas = {}
-        rows = []
-        for name, method in PAPER_METHODS.items():
-            result = run_experiment(config, method)
-            ttas[name] = result.tta_or_total()
-            rows.append(
-                (name, result.final_accuracy, result.tta_or_total(), result.comm_time)
-            )
-        speedups = speedup_table(ttas, baseline="all-reduce")
+def sweep_campaign(model: str = "resnet18") -> CampaignSpec:
+    return CampaignSpec(
+        name="bandwidth-sweep",
+        base={
+            "model": model,
+            "dataset": "cifar10",
+            "world_size": 8,
+            "epochs": 4,
+            "batch_size": 16,
+            "dataset_samples": 256,
+            "max_iterations_per_epoch": 4,
+            "target_accuracy": 0.7,
+            "seed": 0,
+        },
+        axes={
+            "bandwidth": list(BANDWIDTHS),
+            "method": list(PAPER_METHODS),
+        },
+    )
 
+
+def run_sweep(model: str = "resnet18", store_path: str = None, jobs: int = 1) -> None:
+    print(f"Workload: {model} on synthetic CIFAR-10, 8 workers, target accuracy 0.7\n")
+    store = ResultStore(store_path) if store_path else None
+    report = run_campaign(sweep_campaign(model), store=store, jobs=jobs)
+    report.raise_failures()
+    print(report.summary() + "\n")
+
+    by_bandwidth = {}
+    for result in report.results():
+        by_bandwidth.setdefault(result.bandwidth_mbps, []).append(result)
+
+    for bandwidth, mbps in zip(BANDWIDTHS, sorted(by_bandwidth)):
+        results = by_bandwidth[mbps]
+        ttas = {result.method: result.tta_or_total() for result in results}
+        speedups = speedup_table(ttas, baseline="all-reduce")
         print(f"--- bottleneck bandwidth: {bandwidth} ---")
         print(f"{'method':<12} {'final acc':>9} {'TTA (s)':>9} {'comm (s)':>9} {'speedup':>8}")
-        for name, accuracy, tta, comm in rows:
-            print(f"{name:<12} {accuracy:>9.3f} {tta:>9.3f} {comm:>9.3f} {speedups[name]:>7.2f}x")
+        for result in results:
+            print(
+                f"{result.method:<12} {result.final_accuracy:>9.3f} "
+                f"{result.tta_or_total():>9.3f} {result.comm_time:>9.3f} "
+                f"{speedups[result.method]:>7.2f}x"
+            )
         print()
 
 
 if __name__ == "__main__":
-    run_sweep()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="resnet18")
+    parser.add_argument("--store", default=None, help="optional result store (enables caching)")
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    args = parser.parse_args()
+    run_sweep(args.model, store_path=args.store, jobs=args.jobs)

@@ -22,8 +22,9 @@ Quickstart
 >>> result = trainer.run()          # doctest: +SKIP
 >>> print(result.final_accuracy)    # doctest: +SKIP
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-paper-versus-measured record of every table and figure.
+Parameter studies over many (model, bandwidth, method, seed) cells run through
+the :mod:`repro.campaign` subsystem (``python -m repro sweep``); see the
+README for the benchmark-to-figure map.
 """
 
 __version__ = "1.0.0"
@@ -39,4 +40,5 @@ __all__ = [
     "pactrain",
     "simulation",
     "metrics",
+    "campaign",
 ]

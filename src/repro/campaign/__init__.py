@@ -1,0 +1,59 @@
+"""Declarative sweep orchestration over the experiment driver.
+
+The paper's evaluation is a grid — {vgg19, resnet18, resnet152, vit-base-16}
+x {100 Mbps, 500 Mbps, 1 Gbps} x five methods — and this package turns such
+grids from hand-rolled nested loops into data:
+
+* :mod:`repro.campaign.spec`   — :class:`CampaignSpec`: grid/zip/explicit-cell
+  axis composition expanding into deduplicated ``(ExperimentConfig,
+  MethodSpec)`` cells;
+* :mod:`repro.campaign.runner` — process-parallel execution with per-cell
+  fail-soft error capture and progress callbacks;
+* :mod:`repro.campaign.store`  — persistent content-addressed
+  :class:`ResultStore` (JSONL) giving cache hits for unchanged cells, plus
+  filter/pivot/relative-TTA queries;
+* :mod:`repro.campaign.cli`    — the ``python -m repro run|sweep|report``
+  front end driving campaigns from JSON/TOML spec files.
+
+Quickstart
+----------
+>>> from repro.campaign import CampaignSpec, ResultStore, run_campaign
+>>> spec = CampaignSpec(
+...     name="mini-fig3",
+...     base={"model": "resnet18", "epochs": 2, "world_size": 4},
+...     axes={"bandwidth": ["100Mbps", "1Gbps"], "method": ["all-reduce", "pactrain"]},
+... )
+>>> report = run_campaign(spec, store=ResultStore("results.jsonl"), jobs=4)  # doctest: +SKIP
+"""
+
+from repro.campaign.runner import (
+    CampaignReport,
+    CellOutcome,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    CampaignCell,
+    CampaignSpec,
+    build_cell,
+    resolve_method,
+)
+from repro.campaign.store import (
+    RESULT_SCHEMA_VERSION,
+    ResultStore,
+    StoredRecord,
+    cell_fingerprint,
+)
+
+__all__ = [
+    "CampaignCell",
+    "CampaignReport",
+    "CampaignSpec",
+    "CellOutcome",
+    "ResultStore",
+    "RESULT_SCHEMA_VERSION",
+    "StoredRecord",
+    "build_cell",
+    "cell_fingerprint",
+    "resolve_method",
+    "run_campaign",
+]

@@ -1,0 +1,269 @@
+"""Command-line front end for campaigns: ``python -m repro run|sweep|report``.
+
+* ``run`` — train one cell described by flags and print its headline metrics;
+* ``sweep`` — execute a campaign spec file (JSON, or TOML on Python 3.11+)
+  against a persistent result store, with ``--jobs N`` process parallelism and
+  per-cell progress lines;
+* ``report`` — query a store: pivot any result metric over any two axes and
+  optionally normalise methods against a baseline (relative TTA).
+
+Every command exits non-zero on failure; ``sweep`` exits non-zero if any cell
+failed (the remaining cells still run and persist).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.campaign.runner import CampaignReport, CellOutcome, run_campaign
+from repro.campaign.spec import CampaignSpec, build_cell, load_spec_file
+from repro.campaign.store import ResultStore
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Plain-text table: header, dashed rule, aligned columns."""
+    widths = [len(str(column)) for column in header]
+    for row in rows:
+        widths = [max(width, len(str(cell))) for width, cell in zip(widths, row)]
+    lines = [
+        "  ".join(str(cell).ljust(width) for cell, width in zip(header, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    lines.extend(
+        "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)) for row in rows
+    )
+    return "\n".join(lines)
+
+
+def _parse_axis_value(raw: str):
+    """Parse a CLI axis value: JSON when it parses, bare string otherwise."""
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw
+
+
+def _parse_axis_pairs(pairs: Optional[Sequence[str]], flag: str) -> Dict:
+    """Parse repeated ``AXIS=VALUE`` options (shared by --filter and --set)."""
+    parsed: Dict = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"{flag} expects axis=value, got {pair!r}")
+        name, _, raw = pair.partition("=")
+        parsed[name] = _parse_axis_value(raw)
+    return parsed
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def printer(outcome: CellOutcome, done: int, total: int) -> None:
+        detail = ""
+        if outcome.result is not None:
+            detail = (
+                f"  acc={outcome.result.final_accuracy:.3f}"
+                f"  time={outcome.result.simulated_time:.3f}s"
+            )
+        print(f"[{done}/{total}] {outcome.status:<6} {outcome.cell.label}{detail}", flush=True)
+
+    return printer
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+def cmd_run(args: argparse.Namespace) -> int:
+    overrides = {
+        "model": args.model,
+        "method": args.method,
+        "bandwidth": args.bandwidth,
+        "world_size": args.world_size,
+        "epochs": args.epochs,
+        "seed": args.seed,
+    }
+    if args.target_accuracy is not None:
+        overrides["target_accuracy"] = args.target_accuracy
+    if args.max_iterations_per_epoch is not None:
+        overrides["max_iterations_per_epoch"] = args.max_iterations_per_epoch
+    if args.dataset_samples is not None:
+        overrides["dataset_samples"] = args.dataset_samples
+    overrides.update(_parse_axis_pairs(args.set, "--set"))
+
+    cell = build_cell(overrides)
+    store = ResultStore(args.store) if args.store else None
+    report = run_campaign([cell], store=store, jobs=1, progress=_progress_printer(args.quiet))
+    report.raise_failures()
+    result = report.outcomes[0].result
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(
+            format_table(
+                ("model", "method", "final acc", "best acc", "TTA (s)", "sim time (s)", "comm (s)"),
+                [
+                    (
+                        result.model,
+                        result.method,
+                        f"{result.final_accuracy:.3f}",
+                        f"{result.best_accuracy:.3f}",
+                        f"{result.tta:.3f}" if result.tta is not None else "-",
+                        f"{result.simulated_time:.3f}",
+                        f"{result.comm_time:.3f}",
+                    )
+                ],
+            )
+        )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    data, spec_store_path = load_spec_file(args.spec)
+    spec = CampaignSpec.from_dict({key: value for key, value in data.items() if key != "store"})
+    store_path = args.store or spec_store_path or f"campaign_results/{spec.name}.jsonl"
+    store = ResultStore(store_path)
+    cells = spec.expand()
+    print(f"campaign {spec.name!r}: {len(cells)} cells -> store {store_path}", flush=True)
+
+    report = run_campaign(
+        spec,
+        store=store,
+        jobs=args.jobs,
+        progress=_progress_printer(args.quiet),
+        recompute=args.recompute,
+    )
+    print(report.summary(), flush=True)
+    for outcome in report.failures():
+        print(f"FAILED {outcome.cell.label}:\n{outcome.error}", file=sys.stderr)
+    if not args.quiet and report.results():
+        _print_default_report(report)
+    return 1 if report.failed else 0
+
+
+def _print_default_report(report: CampaignReport) -> None:
+    """Per-cell result table, the sweep's built-in report."""
+    rows = []
+    for outcome in report.outcomes:
+        result = outcome.result
+        if result is None:
+            continue
+        rows.append(
+            (
+                result.model,
+                result.method,
+                f"{result.bandwidth_mbps:g}",
+                result.world_size,
+                outcome.cell.config.seed,
+                f"{result.final_accuracy:.3f}",
+                f"{result.tta:.3f}" if result.tta is not None else "-",
+                f"{result.simulated_time:.3f}",
+                outcome.status,
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("model", "method", "Mbps", "world", "seed", "final acc", "TTA (s)", "sim (s)", "status"),
+            rows,
+        )
+    )
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if not len(store):
+        print(f"store {args.store!r} is empty", file=sys.stderr)
+        return 1
+    filters = _parse_axis_pairs(args.filter, "--filter")
+
+    if args.baseline:
+        relative = store.relative_to_baseline(
+            args.baseline, value=args.value, group_by=tuple(args.group_by), **filters
+        )
+        rows = []
+        for group in sorted(relative, key=str):
+            for method, ratio in relative[group].items():
+                label = ", ".join(f"{axis}={value}" for axis, value in zip(args.group_by, group))
+                rows.append((label, method, f"{ratio:.3f}"))
+        print(
+            format_table(
+                ("group", "method", f"{args.value} / {args.baseline}"),
+                rows,
+            )
+        )
+        return 0
+
+    header, rows = store.pivot(args.rows, args.cols, value=args.value, **filters)
+    print(format_table(header, rows))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, sweep and report PacTrain reproduction experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="train one experiment cell")
+    run.add_argument("--model", default="resnet18")
+    run.add_argument("--method", default="all-reduce",
+                     help="method name, compressor registry name or codec spec")
+    run.add_argument("--bandwidth", default="1Gbps")
+    run.add_argument("--world-size", type=int, default=8, dest="world_size")
+    run.add_argument("--epochs", type=int, default=4)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--target-accuracy", type=float, default=None, dest="target_accuracy")
+    run.add_argument("--max-iterations-per-epoch", type=int, default=None,
+                     dest="max_iterations_per_epoch")
+    run.add_argument("--dataset-samples", type=int, default=None, dest="dataset_samples")
+    run.add_argument("--set", action="append", metavar="AXIS=VALUE",
+                     help="extra axis override (repeatable), e.g. --set overlap=true")
+    run.add_argument("--store", default=None, help="optional result store to cache into")
+    run.add_argument("--json", action="store_true", help="print the full result as JSON")
+    run.add_argument("--quiet", action="store_true")
+    run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="execute a campaign spec file")
+    sweep.add_argument("spec", help="campaign spec (.json, or .toml on Python 3.11+)")
+    sweep.add_argument("--store", default=None,
+                       help="result store path (default: spec's 'store' key, else "
+                            "campaign_results/<name>.jsonl)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process; 0 = one per CPU)")
+    sweep.add_argument("--recompute", action="store_true",
+                       help="ignore cached results and retrain every cell")
+    sweep.add_argument("--quiet", action="store_true")
+    sweep.set_defaults(func=cmd_sweep)
+
+    report = sub.add_parser("report", help="query and pivot a result store")
+    report.add_argument("--store", required=True)
+    report.add_argument("--rows", default="model", help="row axis (default: model)")
+    report.add_argument("--cols", default="method", help="column axis (default: method)")
+    report.add_argument("--value", default="simulated_time",
+                        help="result metric (e.g. tta_or_total, final_accuracy, comm_time)")
+    report.add_argument("--baseline", default=None,
+                        help="method name to normalise against (relative-TTA style report)")
+    report.add_argument("--group-by", nargs="+", default=["model", "bandwidth_mbps"],
+                        dest="group_by", help="grouping axes for --baseline reports")
+    report.add_argument("--filter", action="append", metavar="AXIS=VALUE",
+                        help="only records matching this axis value (repeatable)")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "jobs", None) == 0:
+        args.jobs = None  # run_campaign resolves None to one worker per CPU
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

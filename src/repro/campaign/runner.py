@@ -1,0 +1,214 @@
+"""Campaign execution: cache lookup, parallel training, fail-soft capture.
+
+:func:`run_campaign` takes a :class:`~repro.campaign.spec.CampaignSpec` (or an
+explicit cell list), serves unchanged cells from the
+:class:`~repro.campaign.store.ResultStore`, and trains the remaining cells —
+in a ``multiprocessing`` pool when ``jobs > 1``, in-process otherwise.  Every
+cell is independent and internally seeded (``config.seed`` drives the dataset,
+model init, data order and the compressor), so parallel and serial execution
+produce bit-identical results; outcomes are committed to the store in cell
+order regardless of completion order, keeping the store file deterministic
+too.
+
+A failing cell never aborts the sweep: its traceback is captured on the
+:class:`CellOutcome` (status ``"failed"``) and the remaining cells keep
+running.  Callers that want the old fail-fast behaviour call
+:meth:`CampaignReport.raise_failures`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.simulation.experiment import ExperimentResult, run_experiment
+
+#: Outcome statuses: freshly trained, served from the store, or errored.
+STATUS_RAN = "ran"
+STATUS_CACHED = "cached"
+STATUS_FAILED = "failed"
+
+ProgressCallback = Callable[["CellOutcome", int, int], None]
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one campaign cell."""
+
+    index: int
+    cell: CampaignCell
+    key: str
+    status: str
+    result: Optional[ExperimentResult] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class CampaignReport:
+    """All outcomes of one campaign run, in cell order."""
+
+    name: str
+    outcomes: List[CellOutcome] = field(default_factory=list)
+
+    @property
+    def ran(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == STATUS_RAN)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == STATUS_CACHED)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == STATUS_FAILED)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {len(self.outcomes)} cells — "
+            f"ran={self.ran} cached={self.cached} failed={self.failed}"
+        )
+
+    def results(self) -> List[ExperimentResult]:
+        """Successful results in cell order (cached and fresh alike)."""
+        return [o.result for o in self.outcomes if o.result is not None]
+
+    def failures(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.status == STATUS_FAILED]
+
+    def raise_failures(self) -> None:
+        """Re-raise the first cell failure (with every failing label listed)."""
+        failures = self.failures()
+        if not failures:
+            return
+        labels = ", ".join(o.cell.label for o in failures)
+        raise RuntimeError(
+            f"{len(failures)} campaign cell(s) failed ({labels}); first error:\n"
+            f"{failures[0].error}"
+        )
+
+
+def _execute_cell(payload: Tuple[int, CampaignCell]) -> Tuple[int, Optional[ExperimentResult], Optional[str]]:
+    """Train one cell; never raises (returns the traceback instead).
+
+    Module-level so it pickles into pool workers.
+    """
+    index, cell = payload
+    try:
+        return index, run_experiment(cell.config, cell.method), None
+    except Exception:  # noqa: BLE001 - fail-soft per cell by design
+        return index, None, traceback.format_exc()
+
+
+def _execute_cell_in_worker(payload: Tuple[int, CampaignCell]):
+    """Pool-worker entry point: per-cell seeding, then :func:`_execute_cell`.
+
+    Forked workers inherit the parent's global numpy RNG state; re-seeding it
+    from the cell seed isolates any stray global draws per cell.  The
+    simulation itself only uses explicitly seeded generators, so this does
+    not affect results — and it runs only in workers, never in the caller's
+    process (in-process execution must not clobber the caller's RNG state).
+    """
+    np.random.seed(payload[1].config.seed % (2**32))
+    return _execute_cell(payload)
+
+
+def default_jobs() -> int:
+    """Worker count for ``jobs=None``: one per CPU, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def run_campaign(
+    campaign: Union[CampaignSpec, Sequence[CampaignCell]],
+    store: Optional[ResultStore] = None,
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressCallback] = None,
+    recompute: bool = False,
+) -> CampaignReport:
+    """Execute a campaign: expand, check the cache, train what is missing.
+
+    Parameters
+    ----------
+    campaign:
+        A :class:`CampaignSpec` (expanded here) or an explicit cell sequence.
+    store:
+        Result cache; ``None`` disables caching and persistence.  Fresh
+        results are committed in cell order, so a parallel run writes the
+        same store file a serial run would.
+    jobs:
+        Worker processes for the pending cells.  ``1`` (the default) executes
+        in-process — the right mode for CI, tests and nested use (the training
+        loop itself is single-process).  ``None`` picks :func:`default_jobs`.
+        Pools of one worker, single-cell workloads, and platforms without
+        multiprocessing support all fall back to in-process execution.
+    progress:
+        ``callback(outcome, done, total)`` invoked once per settled cell.
+    recompute:
+        Ignore cache hits and retrain every cell (results still overwrite the
+        store).
+    """
+    cells = campaign.expand() if isinstance(campaign, CampaignSpec) else list(campaign)
+    name = campaign.name if isinstance(campaign, CampaignSpec) else "campaign"
+    report = CampaignReport(name=name)
+    total = len(cells)
+    outcomes: List[Optional[CellOutcome]] = [None] * total
+    done = 0
+
+    def settle(outcome: CellOutcome) -> None:
+        nonlocal done
+        outcomes[outcome.index] = outcome
+        done += 1
+        if progress is not None:
+            progress(outcome, done, total)
+
+    # Cache pass: serve unchanged cells from the store.
+    pending: List[Tuple[int, CampaignCell]] = []
+    for index, cell in enumerate(cells):
+        key = cell.fingerprint()
+        cached = store.get_by_key(key) if (store is not None and not recompute) else None
+        if cached is not None:
+            settle(CellOutcome(index=index, cell=cell, key=key, status=STATUS_CACHED, result=cached))
+        else:
+            pending.append((index, cell))
+
+    # Execution pass: train pending cells, in a pool when it pays off.
+    # ``imap`` yields in submission order, so outcomes settle and persist in
+    # cell order as they stream in — the store file a parallel run writes is
+    # identical to the serial one.
+    if pending:
+        workers = min(default_jobs() if jobs is None else max(1, jobs), len(pending))
+        pool = None
+        if workers > 1:
+            try:
+                pool = multiprocessing.Pool(processes=workers)
+            except (OSError, ImportError):
+                # No usable multiprocessing (restricted sandboxes); run inline.
+                pool = None
+        try:
+            stream = (
+                pool.imap(_execute_cell_in_worker, pending) if pool else map(_execute_cell, pending)
+            )
+            for (index, cell), (result_index, result, error) in zip(pending, stream):
+                assert index == result_index, "pool returned results out of order"
+                key = cell.fingerprint()
+                if error is not None:
+                    settle(
+                        CellOutcome(index=index, cell=cell, key=key, status=STATUS_FAILED, error=error)
+                    )
+                    continue
+                if store is not None:
+                    store.put(cell.config, cell.method, result)
+                settle(CellOutcome(index=index, cell=cell, key=key, status=STATUS_RAN, result=result))
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+
+    report.outcomes = [outcome for outcome in outcomes if outcome is not None]
+    return report

@@ -126,20 +126,22 @@ def as_pipeline(codec: Union[Codec, Sequence[Codec]]) -> Pipeline:
 # Spec-string parsing
 # --------------------------------------------------------------------------- #
 #: token -> stage factory; a trailing number (``topk0.01``, ``randomk-0.1``)
-#: is parsed as the stage's ratio.
+#: is parsed as the stage's ratio.  ``seed`` reaches the stochastic stages
+#: (shared random-k selection, ternary rounding); deterministic stages ignore
+#: it, so a multi-seed sweep varies exactly the randomness that exists.
 _STAGE_FACTORIES: Dict[str, Callable[..., Codec]] = {
-    "fp32": lambda ratio=None: Identity(),
-    "none": lambda ratio=None: Identity(),
-    "identity": lambda ratio=None: Identity(),
-    "allreduce": lambda ratio=None: Identity(),
-    "all-reduce": lambda ratio=None: Identity(),
-    "fp16": lambda ratio=None: Half(),
-    "half": lambda ratio=None: Half(),
-    "topk": lambda ratio=None: TopK(ratio if ratio is not None else 0.1),
-    "randomk": lambda ratio=None: RandomK(ratio if ratio is not None else 0.1),
-    "dgc": lambda ratio=None: DGCSelect(ratio if ratio is not None else 0.01),
-    "terngrad": lambda ratio=None: Ternarize(),
-    "ternary": lambda ratio=None: Ternarize(),
+    "fp32": lambda ratio=None, seed=0: Identity(),
+    "none": lambda ratio=None, seed=0: Identity(),
+    "identity": lambda ratio=None, seed=0: Identity(),
+    "allreduce": lambda ratio=None, seed=0: Identity(),
+    "all-reduce": lambda ratio=None, seed=0: Identity(),
+    "fp16": lambda ratio=None, seed=0: Half(),
+    "half": lambda ratio=None, seed=0: Half(),
+    "topk": lambda ratio=None, seed=0: TopK(ratio if ratio is not None else 0.1),
+    "randomk": lambda ratio=None, seed=0: RandomK(ratio if ratio is not None else 0.1, seed=seed),
+    "dgc": lambda ratio=None, seed=0: DGCSelect(ratio if ratio is not None else 0.01),
+    "terngrad": lambda ratio=None, seed=0: Ternarize(seed=seed),
+    "ternary": lambda ratio=None, seed=0: Ternarize(seed=seed),
 }
 
 #: Parameterised tokens: a stage name followed by a ratio (``topk0.01``,
@@ -147,28 +149,29 @@ _STAGE_FACTORIES: Dict[str, Callable[..., Codec]] = {
 _PARAM_TOKEN = re.compile(r"^(?P<stage>topk|randomk|dgc)-?(?P<ratio>\d*\.?\d+)$")
 
 
-def parse_codec_token(token: str) -> Codec:
+def parse_codec_token(token: str, seed: int = 0) -> Codec:
     """Parse one stage token (``"topk0.01"``, ``"fp16"``) into a stage."""
     token = token.strip().lower()
     factory = _STAGE_FACTORIES.get(token)
     if factory is not None:
-        return factory()
+        return factory(seed=seed)
     match = _PARAM_TOKEN.match(token)
     if match is None:
         raise KeyError(
             f"unknown codec token {token!r}; expected one of {sorted(_STAGE_FACTORIES)} "
             "optionally suffixed with a ratio (e.g. 'topk0.01')"
         )
-    return _STAGE_FACTORIES[match.group("stage")](float(match.group("ratio")))
+    return _STAGE_FACTORIES[match.group("stage")](float(match.group("ratio")), seed=seed)
 
 
-def parse_codec_spec(spec: str) -> Pipeline:
+def parse_codec_spec(spec: str, seed: int = 0) -> Pipeline:
     """Parse a ``+``-separated codec spec string into a :class:`Pipeline`.
 
     Examples: ``"allreduce"``, ``"fp16"``, ``"topk0.01"``, ``"dgc-0.01"``,
-    ``"topk0.01+terngrad"``, ``"randomk0.1+fp16"``.
+    ``"topk0.01+terngrad"``, ``"randomk0.1+fp16"``.  ``seed`` reaches every
+    stochastic stage of the pipeline.
     """
     tokens = [token for token in spec.split("+") if token.strip()]
     if not tokens:
         raise KeyError(f"empty codec spec {spec!r}")
-    return Pipeline([parse_codec_token(token) for token in tokens])
+    return Pipeline([parse_codec_token(token, seed=seed) for token in tokens])

@@ -15,7 +15,8 @@ composition without writing a compressor class (see
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import inspect
+from typing import Callable, Dict, Optional
 
 from repro.compression.base import CodecCompressor, Compressor
 from repro.compression.codec import parse_codec_spec
@@ -28,31 +29,56 @@ from repro.compression.topk import TopKCompressor
 
 CompressorFactory = Callable[..., Compressor]
 
+#: Deterministic compressors (top-k selection, dgc, fp16, identity) declare a
+#: ``seed`` parameter they ignore, so :func:`build_compressor` can thread the
+#: per-run seed uniformly without special-casing which methods are stochastic.
 COMPRESSOR_REGISTRY: Dict[str, CompressorFactory] = {
     "allreduce": NoCompression,
     "all-reduce": NoCompression,
     "fp16": FP16Compressor,
-    "topk-0.1": lambda **kw: TopKCompressor(ratio=0.1, **kw),
-    "topk-0.01": lambda **kw: TopKCompressor(ratio=0.01, **kw),
+    "topk-0.1": lambda seed=None, **kw: TopKCompressor(ratio=0.1, **kw),
+    "topk-0.01": lambda seed=None, **kw: TopKCompressor(ratio=0.01, **kw),
     "topk": TopKCompressor,
     "randomk": RandomKCompressor,
     "terngrad": TernGradCompressor,
     "dgc": DGCCompressor,
-    "dgc-0.01": lambda **kw: DGCCompressor(ratio=0.01, **kw),
+    "dgc-0.01": lambda seed=None, **kw: DGCCompressor(ratio=0.01, **kw),
 }
 
 
 def register_compressor(name: str, factory: CompressorFactory) -> None:
-    """Register a compressor factory under ``name`` (case-insensitive)."""
+    """Register a compressor factory under ``name`` (case-insensitive).
+
+    Factories that accept a ``seed`` keyword (or ``**kwargs``) receive the
+    per-run seed from :func:`build_compressor`; seedless factories still work
+    (their compressors are treated as deterministic).
+    """
     COMPRESSOR_REGISTRY[name.lower()] = factory
 
 
-def build_compressor(name: str, **kwargs) -> Compressor:
+def _accepts_seed(factory: CompressorFactory) -> bool:
+    """Whether ``factory`` can receive a ``seed`` keyword argument."""
+    try:
+        parameters = inspect.signature(factory).parameters.values()
+    except (TypeError, ValueError):  # pragma: no cover - non-introspectable callable
+        return False
+    return any(
+        p.name == "seed" or p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters
+    )
+
+
+def build_compressor(name: str, seed: Optional[int] = None, **kwargs) -> Compressor:
     """Instantiate a compressor by registry name or codec pipeline spec.
 
     Resolution order: registered names first (so the paper's figure names and
     user registrations win), then ``+``-separated codec specs such as
     ``"topk0.01+terngrad"`` or ``"randomk0.1+fp16"``.
+
+    ``seed`` is threaded to whatever randomness the method actually has: it is
+    passed to registry factories that accept a ``seed`` keyword and to the
+    stochastic stages of codec pipeline specs (shared random-k selection,
+    ternary rounding).  ``None`` keeps every factory default (seed 0 for the
+    built-in stochastic codecs).
 
     Raises
     ------
@@ -78,9 +104,12 @@ def build_compressor(name: str, **kwargs) -> Compressor:
             "pactrain-fp32", lambda **kw: PacTrainCompressor(quantize=False, **kw)
         )
     if key in COMPRESSOR_REGISTRY:
-        return COMPRESSOR_REGISTRY[key](**kwargs)
+        factory = COMPRESSOR_REGISTRY[key]
+        if seed is not None and "seed" not in kwargs and _accepts_seed(factory):
+            kwargs["seed"] = seed
+        return factory(**kwargs)
     try:
-        pipeline = parse_codec_spec(key)
+        pipeline = parse_codec_spec(key, seed=0 if seed is None else seed)
     except KeyError:
         raise KeyError(
             f"unknown compressor {name!r}: not a registered name "

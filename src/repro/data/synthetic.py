@@ -1,6 +1,6 @@
 """Synthetic class-conditional image datasets standing in for CIFAR-10/100.
 
-Design goals (see DESIGN.md, Substitutions):
+Design goals:
 
 * **Learnable but not trivial.**  Each class has a random spatial "prototype"
   image; samples are the prototype plus per-sample Gaussian noise and a random

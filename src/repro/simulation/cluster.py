@@ -22,6 +22,7 @@ Heterogeneity knobs (all optional):
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -54,7 +55,7 @@ class ClusterSpec:
     device: Union[str, DeviceSpec] = "sim-gpu"
     #: Per-message latency of the bottleneck link.  The default (100 us) keeps
     #: the mini models in the same bandwidth-bound regime as the paper's
-    #: full-size models; see DESIGN.md (Substitutions).
+    #: full-size models.
     latency: float = 1e-4
     sparse_compute_speedup: bool = False
     #: Per-worker device list (length ``world_size``); overrides ``device``.
@@ -181,6 +182,51 @@ class ClusterSpec:
             * multiplier
             for compute, multiplier in zip(self.compute_models(), multipliers)
         ]
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-ready dict that :meth:`from_dict` restores exactly.
+
+        ``DeviceSpec`` entries become nested dicts; preset names stay strings,
+        so the round trip preserves how the device was specified (the campaign
+        store hashes this representation).
+        """
+
+        def _device(value: Union[str, DeviceSpec]) -> Union[str, dict]:
+            return value if isinstance(value, str) else value.to_dict()
+
+        return {
+            "world_size": self.world_size,
+            "bandwidth": self.bandwidth,
+            "device": _device(self.device),
+            "latency": self.latency,
+            "sparse_compute_speedup": self.sparse_compute_speedup,
+            "devices": None if self.devices is None else [_device(d) for d in self.devices],
+            "straggler": self.straggler,
+            "straggler_factors": (
+                None if self.straggler_factors is None else [float(f) for f in self.straggler_factors]
+            ),
+            "overlap": self.overlap,
+            "hierarchical": self.hierarchical,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterSpec":
+        def _device(value) -> Union[str, DeviceSpec]:
+            return DeviceSpec.from_dict(value) if isinstance(value, dict) else value
+
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise KeyError(f"unknown ClusterSpec fields {sorted(unknown)}; known: {sorted(known)}")
+        kwargs = dict(data)
+        if kwargs.get("device") is not None:
+            kwargs["device"] = _device(kwargs["device"])
+        if kwargs.get("devices") is not None:
+            kwargs["devices"] = [_device(d) for d in kwargs["devices"]]
+        return cls(**kwargs)
 
     # ------------------------------------------------------------------ #
     def describe(self) -> dict:

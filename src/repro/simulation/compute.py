@@ -43,6 +43,13 @@ class DeviceSpec:
         if self.flops_per_second <= 0:
             raise ValueError("flops_per_second must be positive")
 
+    def to_dict(self) -> Dict[str, float]:
+        return {"name": self.name, "flops_per_second": self.flops_per_second}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DeviceSpec":
+        return cls(name=data["name"], flops_per_second=float(data["flops_per_second"]))
+
 
 #: Effective throughput presets.
 DEVICE_PRESETS = {

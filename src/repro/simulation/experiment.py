@@ -11,6 +11,7 @@ and tabulated in Table 1.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -68,7 +69,23 @@ class MethodSpec:
                 seed=seed,
                 warmup_iterations=self.warmup_iterations,
             )
-        return build_compressor(self.compressor)
+        # Registry names and codec pipeline specs receive the same per-run
+        # seed, so stochastic codecs (random-k selection, ternary rounding)
+        # actually vary across multi-seed sweeps.
+        return build_compressor(self.compressor, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """JSON-ready dict that :meth:`from_dict` restores exactly."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MethodSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise KeyError(f"unknown MethodSpec fields {sorted(unknown)}; known: {sorted(known)}")
+        return cls(**data)
 
 
 #: The five methods compared throughout the paper's evaluation (Figs. 3 and 5).
@@ -126,6 +143,42 @@ class ExperimentConfig:
             raise ValueError("epochs must be >= 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.dataset_samples < 2:
+            raise ValueError(
+                "dataset_samples must be >= 2 (the train/test split needs at least "
+                f"one sample on each side), got {self.dataset_samples}"
+            )
+        if not 0.0 < self.test_fraction < 1.0:
+            raise ValueError(f"test_fraction must be in (0, 1), got {self.test_fraction}")
+        if self.target_accuracy is not None and not isinstance(self.target_accuracy, (int, float)):
+            raise TypeError(
+                f"target_accuracy must be a float or None, got {self.target_accuracy!r} "
+                "(resolve named targets such as 'per-model' before building the config)"
+            )
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """JSON-ready dict that :meth:`from_dict` restores exactly.
+
+        The nested :class:`ClusterSpec` serialises through its own
+        ``to_dict``; everything else is plain scalars.  This representation is
+        what the campaign result store hashes, so it must stay stable and
+        canonical (no derived/duplicated fields).
+        """
+        data = dataclasses.asdict(self)
+        data["cluster"] = self.cluster.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise KeyError(f"unknown ExperimentConfig fields {sorted(unknown)}; known: {sorted(known)}")
+        kwargs = dict(data)
+        if "cluster" in kwargs and isinstance(kwargs["cluster"], dict):
+            kwargs["cluster"] = ClusterSpec.from_dict(kwargs["cluster"])
+        return cls(**kwargs)
 
 
 @dataclass
@@ -176,6 +229,27 @@ class ExperimentResult:
         if self.reached_target and self.tta is not None:
             return self.tta
         return self.simulated_time
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """JSON-ready dict that :meth:`from_dict` restores exactly.
+
+        Floats survive the round trip bit-identically (JSON serialises the
+        shortest repr, which Python parses back to the same double; ``nan`` and
+        ``inf`` use the non-strict JSON literals).  Tuples in
+        ``accuracy_trace`` come back as tuples via ``from_dict``.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentResult":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise KeyError(f"unknown ExperimentResult fields {sorted(unknown)}; known: {sorted(known)}")
+        kwargs = dict(data)
+        kwargs["accuracy_trace"] = [tuple(point) for point in kwargs.get("accuracy_trace", [])]
+        return cls(**kwargs)
 
 
 # --------------------------------------------------------------------------- #
@@ -447,7 +521,23 @@ def run_experiment(config: ExperimentConfig, method: MethodSpec) -> ExperimentRe
 def run_method_comparison(
     config: ExperimentConfig,
     methods: Optional[Sequence[MethodSpec]] = None,
+    jobs: int = 1,
+    store=None,
 ) -> Dict[str, ExperimentResult]:
-    """Run the same workload under several methods (defaults to the paper's five)."""
+    """Run the same workload under several methods (defaults to the paper's five).
+
+    The comparison is one campaign over the method axis, executed by the
+    :mod:`repro.campaign` runner: ``jobs > 1`` trains the methods in parallel
+    worker processes, and an optional :class:`~repro.campaign.store.ResultStore`
+    serves unchanged cells from cache.  A failing cell re-raises its error (the
+    pre-campaign behaviour of the plain loop this used to be).
+    """
+    # Imported lazily: repro.campaign builds on this module.
+    from repro.campaign.runner import run_campaign  # noqa: PLC0415
+    from repro.campaign.spec import CampaignCell  # noqa: PLC0415
+
     methods = list(methods) if methods is not None else list(PAPER_METHODS.values())
-    return {method.name: run_experiment(config, method) for method in methods}
+    cells = [CampaignCell(config=config, method=method) for method in methods]
+    report = run_campaign(cells, store=store, jobs=jobs)
+    report.raise_failures()
+    return {outcome.result.method: outcome.result for outcome in report.outcomes}
