@@ -1,0 +1,49 @@
+"""Tracked perf microbenchmarks as a pytest-runnable benchmark module.
+
+Runs the quick variant of the :mod:`repro.perf` suite (the same one
+``python -m repro perf --quick`` executes) and prints the timing table, plus a
+regression check against the committed ``BENCH_perf.json`` baseline with the
+CI noise margin.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf/bench_perf.py \
+        -o python_functions='bench_*' -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.perf import check_regressions, run_suite
+
+#: Committed baseline at the repository root.
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..", "..", "BENCH_perf.json")
+
+#: Generous noise margin — CI machines are slower and noisier than the
+#: machine that produced the committed baseline.
+MAX_REGRESSION = 0.25
+
+
+def bench_perf_suite_quick():
+    results = run_suite(quick=True)
+    width = max(len(name) for name in results)
+    print()
+    for name, result in sorted(results.items()):
+        print(f"{name:<{width}}  median {result.median_s * 1e3:9.3f} ms  "
+              f"(min {result.min_s * 1e3:.3f}, k={result.repeats})")
+    assert results, "perf suite produced no results"
+    for result in results.values():
+        assert result.median_s > 0.0
+
+
+def bench_perf_no_regression_vs_committed_baseline():
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    # The train-step bench runs the same workload in quick mode (only fewer
+    # repeats), so its medians are directly comparable to the committed
+    # full-mode baseline.
+    results = run_suite(quick=True, only=["train_step"])
+    regressions = check_regressions(results, baseline, max_regression=MAX_REGRESSION)
+    assert not regressions, f"perf regressions vs committed baseline: {regressions}"

@@ -107,13 +107,15 @@ def main() -> None:
             flats = [bucket.flatten(grads) for grads in per_rank_grads]
             state = tracker.update_from_rank_gradients(bucket.index, flats)
 
-            aggregated = ddp.synchronize_gradients(per_rank_grads)
+            # The traced variant returns each bucket's collective events (DDP
+            # drains the group's per-step log; whole-run totals live in the
+            # group's lifetime_* counters).
+            aggregated, bucket_events = ddp.synchronize_gradients_traced(per_rank_grads)
             ddp.apply_aggregated_gradients(aggregated)
             optimizer.step()
             mask.apply_to_weights(model)
 
-            events = group.pop_events()
-            comm_time = sum(e.time_seconds for e in events)
+            comm_time = sum(e.time_seconds for per_bucket in bucket_events for e in per_bucket)
             print(
                 f"epoch {epoch} loss={np.mean(losses):.3f} "
                 f"bucket density={state.density:.2f} stable={state.stable} "

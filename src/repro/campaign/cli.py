@@ -1,20 +1,25 @@
-"""Command-line front end for campaigns: ``python -m repro run|sweep|report``.
+"""Command-line front end: ``python -m repro run|sweep|report|perf``.
 
 * ``run`` — train one cell described by flags and print its headline metrics;
 * ``sweep`` — execute a campaign spec file (JSON, or TOML on Python 3.11+)
   against a persistent result store, with ``--jobs N`` process parallelism and
   per-cell progress lines;
 * ``report`` — query a store: pivot any result metric over any two axes and
-  optionally normalise methods against a baseline (relative TTA).
+  optionally normalise methods against a baseline (relative TTA);
+* ``perf`` — run the tracked performance microbenchmarks
+  (:mod:`repro.perf`), write ``BENCH_perf.json`` and optionally gate on a
+  committed baseline (``--check``).
 
 Every command exits non-zero on failure; ``sweep`` exits non-zero if any cell
-failed (the remaining cells still run and persist).
+failed (the remaining cells still run and persist), ``perf --check`` exits
+non-zero when a benchmark regressed beyond the allowed margin.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -172,6 +177,62 @@ def _print_default_report(report: CampaignReport) -> None:
     )
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    # Imported lazily: the perf suite pulls in the training stack.
+    from repro.perf import check_regressions, run_suite, write_report  # noqa: PLC0415
+
+    def progress(result) -> None:
+        if not args.quiet:
+            print(
+                f"{result.name:<40} median {result.median_s * 1e3:9.3f} ms"
+                f"  (k={result.repeats}, warmup={result.warmup})",
+                flush=True,
+            )
+
+    results = run_suite(quick=args.quick, only=args.only, progress=progress)
+
+    # Carry forward from the existing report (the committed BENCH_perf.json):
+    # the recorded seed baseline always, and — when --only reran a subset —
+    # the previous results of the benchmarks that were not rerun, so a
+    # partial run never truncates the report.
+    seed_baseline = None
+    if os.path.exists(args.out):
+        try:
+            with open(args.out, "r", encoding="utf-8") as handle:
+                previous = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            previous = {}
+        seed_baseline = previous.get("seed_baseline")
+        if args.only:
+            from repro.perf import BenchResult  # noqa: PLC0415
+
+            for name, entry in previous.get("results", {}).items():
+                if name not in results:
+                    results[name] = BenchResult.from_dict(name, entry)
+
+    document = write_report(results, args.out, quick=args.quick, seed_baseline=seed_baseline)
+    if not args.quiet:
+        print(f"wrote {args.out}")
+        for name, speedup in sorted(document.get("speedup_vs_seed", {}).items()):
+            print(f"  {name:<40} {speedup:5.2f}x vs seed")
+
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        regressions = check_regressions(results, baseline, max_regression=args.max_regression)
+        if regressions:
+            for name, current, previous in regressions:
+                print(
+                    f"PERF REGRESSION {name}: {current * 1e3:.3f} ms vs baseline "
+                    f"{previous * 1e3:.3f} ms (> {args.max_regression:.0%} slower)",
+                    file=sys.stderr,
+                )
+            return 2
+        if not args.quiet:
+            print(f"no regressions vs {args.check} (margin {args.max_regression:.0%})")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     if not len(store):
@@ -255,6 +316,21 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--filter", action="append", metavar="AXIS=VALUE",
                         help="only records matching this axis value (repeatable)")
     report.set_defaults(func=cmd_report)
+
+    perf = sub.add_parser("perf", help="run the tracked perf microbenchmarks")
+    perf.add_argument("--quick", action="store_true",
+                      help="smaller sizes and fewer repeats (CI smoke mode)")
+    perf.add_argument("--out", default="BENCH_perf.json",
+                      help="report path (default: BENCH_perf.json)")
+    perf.add_argument("--check", default=None, metavar="BASELINE",
+                      help="fail (exit 2) if any benchmark regresses vs this report")
+    perf.add_argument("--max-regression", type=float, default=0.25,
+                      dest="max_regression",
+                      help="allowed fractional slowdown for --check (default 0.25)")
+    perf.add_argument("--only", nargs="+", default=None,
+                      help="subset of benchmark groups (train_step codec engine campaign)")
+    perf.add_argument("--quiet", action="store_true")
+    perf.set_defaults(func=cmd_perf)
     return parser
 
 

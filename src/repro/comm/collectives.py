@@ -100,16 +100,22 @@ def _check_payloads(payloads: Sequence[WirePayload]) -> None:
 
 
 def accumulate_sum(arrays) -> np.ndarray:
-    """Sum an iterable of equal-shaped arrays into one float64 buffer.
+    """Sum an iterable of equal-shaped arrays into one compute-dtype buffer.
 
     Accumulates item by item (accepts a lazy generator), so peak memory stays
-    O(numel) regardless of how many ranks contribute.  Shared by the raw and
-    payload collective paths and by :func:`repro.compression.base.exact_average`.
+    O(numel) regardless of how many ranks contribute.  The accumulator dtype
+    follows the first array's floating dtype (float64 for non-float inputs),
+    so float32 gradients reduce in float32 while the historical float64 path
+    is untouched.  Shared by the raw and payload collective paths and by
+    :func:`repro.compression.base.exact_average`.
     """
+    from repro.tensorlib.dtypes import float_dtype_of  # noqa: PLC0415
+
     total: Optional[np.ndarray] = None
     for array in arrays:
         if total is None:
-            total = np.zeros(np.shape(array), dtype=np.float64)
+            array = np.asarray(array)
+            total = np.zeros(array.shape, dtype=float_dtype_of(array))
         np.add(total, array, out=total, casting="unsafe")
     if total is None:
         raise ValueError("accumulate_sum called with no arrays")
@@ -178,7 +184,7 @@ def all_reduce(
 
     _check_buffers(buffers)
     world_size = len(buffers)
-    result = accumulate_sum(np.asarray(b, dtype=np.float64) for b in buffers)
+    result = accumulate_sum(buffers)
     if average:
         result /= world_size
 
@@ -286,7 +292,7 @@ def reduce_scatter(
     """Reduce buffers across ranks and scatter equal chunks back to each rank."""
     _check_buffers(buffers)
     world_size = len(buffers)
-    total = accumulate_sum(np.asarray(b, dtype=np.float64) for b in buffers)
+    total = accumulate_sum(buffers)
     if average:
         total /= world_size
     flat = total.reshape(-1)

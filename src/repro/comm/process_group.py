@@ -30,7 +30,14 @@ from repro.comm.network import NetworkModel
 
 
 class ProcessGroup:
-    """A fixed set of ranks sharing a network model and an event log."""
+    """A fixed set of ranks sharing a network model and an event log.
+
+    ``events`` is a *per-step* buffer: the DDP wrapper drains the events each
+    bucket's hook issued as part of every synchronisation, so the list stays
+    bounded by one iteration's collectives no matter how long the run is.
+    Whole-run accounting lives in the ``lifetime_*`` counters, which are
+    updated on every append and survive draining.
+    """
 
     def __init__(self, world_size: int, network: Optional[NetworkModel] = None) -> None:
         if world_size < 1:
@@ -38,6 +45,16 @@ class ProcessGroup:
         self.world_size = world_size
         self.network = network
         self.events: List[CollectiveEvent] = []
+        #: Whole-run aggregates (never reset by draining the per-step buffer).
+        self.lifetime_events: int = 0
+        self.lifetime_time_seconds: float = 0.0
+        self.lifetime_bytes_per_worker: float = 0.0
+
+    def _log(self, event: CollectiveEvent) -> None:
+        self.events.append(event)
+        self.lifetime_events += 1
+        self.lifetime_time_seconds += event.time_seconds
+        self.lifetime_bytes_per_worker += event.bytes_per_worker
 
     # ------------------------------------------------------------------ #
     # Collectives
@@ -55,7 +72,7 @@ class ProcessGroup:
         """
         self._check_world(buffers)
         result, event = all_reduce(buffers, self.network, average=average, element_bytes=element_bytes)
-        self.events.append(event)
+        self._log(event)
         return result
 
     def all_gather(
@@ -65,12 +82,12 @@ class ProcessGroup:
     ) -> List:
         self._check_world(buffers)
         gathered, event = all_gather(buffers, self.network, element_bytes=element_bytes)
-        self.events.append(event)
+        self._log(event)
         return gathered
 
     def broadcast(self, buffer, element_bytes: Optional[float] = None) -> List:
         replicas, event = broadcast(buffer, self.world_size, self.network, element_bytes=element_bytes)
-        self.events.append(event)
+        self._log(event)
         return replicas
 
     def reduce_scatter(
@@ -81,7 +98,7 @@ class ProcessGroup:
     ) -> List[np.ndarray]:
         self._check_world(buffers)
         chunks, event = reduce_scatter(buffers, self.network, average=average, element_bytes=element_bytes)
-        self.events.append(event)
+        self._log(event)
         return chunks
 
     def _check_world(self, buffers: Sequence) -> None:

@@ -154,6 +154,11 @@ class CodecCompressor(Compressor):
             bucket_index=bucket.index,
             iteration=iteration,
             group=group,
+            # Arena-backed buckets hand first-stage matrix consumers (batched
+            # top-k, DGC) the (world, numel) gradients without re-stacking;
+            # list-backed buckets pass None so pipelines that never read the
+            # matrix don't pay for a stack.
+            matrix=bucket.materialized_matrix,
         )
         payloads = pipeline.encode_all(bucket.buffers, ctx)
 
@@ -166,9 +171,12 @@ class CodecCompressor(Compressor):
             result = pipeline.decode(reduced)
         else:
             gathered = group.all_gather(payloads)
-            result = np.zeros(bucket.numel, dtype=np.float64)
+            result = None
             for payload in gathered:
-                np.add(result, pipeline.decode(payload), out=result)
+                decoded = pipeline.decode(payload)
+                if result is None:
+                    result = np.zeros(bucket.numel, dtype=decoded.dtype)
+                np.add(result, decoded, out=result)
             result /= bucket.world_size
 
         self._record(bucket, payloads, used_allgather=not reducible)

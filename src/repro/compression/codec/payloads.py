@@ -22,6 +22,8 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.tensorlib.dtypes import as_compute_array, float_dtype_of, get_default_dtype
+
 #: Analytic wire sizes (bytes per element) used throughout the cost model.
 FP32_BYTES = 4.0
 FP16_BYTES = 2.0
@@ -93,7 +95,7 @@ class DensePayload(WirePayload):
         return isinstance(other, DensePayload) and other.values.shape == self.values.shape
 
     def reduce_values(self) -> np.ndarray:
-        return np.asarray(self.values, dtype=np.float64)
+        return as_compute_array(self.values)
 
     def with_reduced(self, values: np.ndarray) -> "DensePayload":
         return DensePayload(values, element_bytes=self.element_bytes)
@@ -124,11 +126,11 @@ class HalfPayload(WirePayload):
         return isinstance(other, HalfPayload) and other.values.shape == self.values.shape
 
     def reduce_values(self) -> np.ndarray:
-        return self.values.astype(np.float64)
+        return self.values.astype(get_default_dtype())
 
     def with_reduced(self, values: np.ndarray) -> DensePayload:
-        # Sums of fp16 values are accumulated (and returned) in float64, the
-        # same convention real mixed-precision all-reduces use.
+        # Sums of fp16 values are accumulated (and returned) in the compute
+        # dtype, the same convention real mixed-precision all-reduces use.
         return DensePayload(values)
 
 
@@ -193,19 +195,19 @@ class SparsePayload(WirePayload):
         )
 
     def reduce_values(self) -> np.ndarray:
-        return np.asarray(self.values, dtype=np.float64)
+        return as_compute_array(self.values)
 
     def with_reduced(self, values: np.ndarray) -> "SparsePayload":
         return replace(self, values=values)
 
     def densify(self) -> np.ndarray:
-        """Scatter the selection back into a dense float64 gradient.
+        """Scatter the selection back into a dense compute-dtype gradient.
 
         Indices are unique by construction (see the class docstring), so the
         fast vectorised fancy assignment is exact.
         """
-        dense = np.zeros(self.numel, dtype=np.float64)
-        dense[self.indices] = np.asarray(self.values, dtype=np.float64)
+        dense = np.zeros(self.numel, dtype=float_dtype_of(np.asarray(self.values)))
+        dense[self.indices] = self.values
         return dense
 
 
@@ -268,7 +270,7 @@ class TernaryPayload(WirePayload):
         return isinstance(other, TernaryPayload) and other.size == self.size
 
     def reduce_values(self) -> np.ndarray:
-        return self.scale * self.codes().astype(np.float64)
+        return self.scale * self.codes().astype(get_default_dtype())
 
     def with_reduced(self, values: np.ndarray) -> DensePayload:
         # A sum of ternary tensors is no longer ternary.
@@ -313,4 +315,4 @@ def as_payload(value) -> WirePayload:
     """Normalise an ndarray (or payload) into a :class:`WirePayload`."""
     if isinstance(value, WirePayload):
         return value
-    return DensePayload(np.asarray(value, dtype=np.float64))
+    return DensePayload(as_compute_array(value))

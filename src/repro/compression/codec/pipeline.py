@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.compression.codec.payloads import DensePayload, WirePayload, as_payload
+from repro.tensorlib.dtypes import as_compute_array
 from repro.compression.codec.stages import (
     Codec,
     DGCSelect,
@@ -82,6 +83,9 @@ class Pipeline(Codec):
         for stage in self.stages:
             stage.prepare(payloads, ctx)
             payloads = [stage.encode(p, ctx, rank=rank) for rank, p in enumerate(payloads)]
+            # The raw bucket matrix describes the *first* stage's inputs only;
+            # later stages see transformed payloads and must not reuse it.
+            ctx.matrix = None
         return payloads
 
     def encode(self, flat, ctx: Optional[EncodeContext] = None) -> WirePayload:
@@ -103,7 +107,7 @@ class Pipeline(Codec):
                 f"pipeline {self.spec()!r} decoded to {type(payload).__name__}, "
                 "expected a DensePayload — a stage is missing its decode"
             )
-        return np.asarray(payload.values, dtype=np.float64)
+        return as_compute_array(payload.values)
 
     def reset(self) -> None:
         for stage in self.stages:

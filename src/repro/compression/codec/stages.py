@@ -32,6 +32,7 @@ from repro.compression.codec.payloads import (
     WirePayload,
     pack_ternary,
 )
+from repro.tensorlib.dtypes import as_compute_array, float_dtype_of
 
 
 @dataclass
@@ -50,6 +51,13 @@ class EncodeContext:
     iteration: int = 0
     group: Optional[object] = None
     shared: Dict = field(default_factory=dict)
+    #: The raw ``(world_size, numel)`` gradient matrix for this bucket, when
+    #: the caller (the codec driver over an arena-backed bucket) already holds
+    #: one.  Consumed by the *first* stage of a pipeline — whose inputs are by
+    #: construction the matrix's rows — to skip the ``np.stack`` re-pack; the
+    #: pipeline clears it before later stages run.  Stages must treat it as
+    #: read-only.
+    matrix: Optional[object] = None
 
 
 class Codec:
@@ -92,7 +100,18 @@ def _dense_input(payload: WirePayload, stage: str) -> np.ndarray:
             f"{stage} must be the first stage of a pipeline (it selects dense "
             f"coordinates), got upstream payload {type(payload).__name__}"
         )
-    return np.asarray(payload.values, dtype=np.float64)
+    return as_compute_array(payload.values)
+
+
+def _stacked_inputs(inputs: List[WirePayload], ctx: EncodeContext, stage: str) -> np.ndarray:
+    """The ``(world, numel)`` matrix of a stage's dense inputs.
+
+    Uses the bucket's arena matrix directly when the encode context carries
+    one (zero-copy); otherwise stacks the per-rank payload values.
+    """
+    if ctx.matrix is not None:
+        return ctx.matrix
+    return np.stack([_dense_input(p, stage) for p in inputs])
 
 
 # --------------------------------------------------------------------------- #
@@ -148,7 +167,11 @@ class Half(Codec):
         if isinstance(payload, DensePayload):
             return HalfPayload(payload.values.astype(np.float16))
         if isinstance(payload, SparsePayload):
-            halved = payload.values.astype(np.float16).astype(np.float64)
+            # Round-trip through fp16 (the wire precision), back to the
+            # payload's own compute dtype — no float64 leak on the f32 path.
+            halved = payload.values.astype(np.float16).astype(
+                float_dtype_of(np.asarray(payload.values))
+            )
             return SparsePayload(
                 payload.indices, halved, payload.numel,
                 value_bytes=FP16_BYTES,
@@ -187,7 +210,7 @@ class TopK(Codec):
         self._residuals.clear()
 
     def prepare(self, inputs: List[WirePayload], ctx: EncodeContext) -> None:
-        matrix = np.stack([_dense_input(p, "TopK") for p in inputs])
+        matrix = _stacked_inputs(inputs, ctx, "TopK")
         numel = matrix.shape[1]
         k = max(1, int(round(numel * self.ratio)))
 
@@ -332,7 +355,7 @@ class Ternarize(Codec):
     @staticmethod
     def _values_of(payload: WirePayload) -> np.ndarray:
         if isinstance(payload, (DensePayload, SparsePayload)):
-            return np.asarray(payload.values, dtype=np.float64)
+            return as_compute_array(payload.values)
         if isinstance(payload, HalfPayload):
             return payload.reduce_values()
         raise TypeError(f"cannot ternarise {type(payload).__name__}")
@@ -363,7 +386,9 @@ class Ternarize(Codec):
             codes = (np.sign(values) * keep).astype(np.int8)
         if isinstance(payload, SparsePayload):
             return SparsePayload(
-                payload.indices, scale * codes.astype(np.float64), payload.numel,
+                payload.indices,
+                scale * codes.astype(float_dtype_of(np.asarray(payload.values))),
+                payload.numel,
                 value_bytes=TERNARY_BYTES,
                 indices_on_wire=payload.indices_on_wire,
                 shared_selection=payload.shared_selection,
@@ -418,7 +443,7 @@ class DGCSelect(Codec):
         return matrix * factors
 
     def prepare(self, inputs: List[WirePayload], ctx: EncodeContext) -> None:
-        matrix = self._clip_rows(np.stack([_dense_input(p, "DGC") for p in inputs]))
+        matrix = self._clip_rows(_stacked_inputs(inputs, ctx, "DGC"))
         numel = matrix.shape[1]
         k = max(1, int(round(numel * self.ratio)))
 

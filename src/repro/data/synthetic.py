@@ -20,6 +20,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.tensorlib.dtypes import get_default_dtype
+
 
 @dataclass
 class DatasetSpec:
@@ -59,7 +61,9 @@ class SyntheticImageClassification:
         labels = rng.integers(0, spec.num_classes, size=spec.num_samples)
         noise = rng.standard_normal((spec.num_samples, *shape)) * spec.noise_std
         shift = rng.normal(0.0, 0.1, size=(spec.num_samples, 1, 1, 1))
-        self.images = (self.prototypes[labels] + noise + shift).astype(np.float64)
+        # Sample in float64 (deterministic across compute dtypes), store in the
+        # process compute dtype so training batches need no per-step casts.
+        self.images = (self.prototypes[labels] + noise + shift).astype(get_default_dtype())
         self.labels = labels.astype(np.int64)
 
     def __len__(self) -> int:

@@ -17,6 +17,7 @@ Tracker necessary: the hook cannot map bucket offsets back to named weights, so
 sparsity structure must be recovered from the flat gradient itself.
 """
 
+from repro.ddp.arena import GradientArena
 from repro.ddp.bucket import Bucket, BucketSlice, GradBucket, build_buckets
 from repro.ddp.hooks import allreduce_hook, fp16_compress_hook, CompressorHook, HookState
 from repro.ddp.ddp import DistributedDataParallel, StepResult
@@ -25,6 +26,7 @@ __all__ = [
     "Bucket",
     "BucketSlice",
     "GradBucket",
+    "GradientArena",
     "build_buckets",
     "allreduce_hook",
     "fp16_compress_hook",

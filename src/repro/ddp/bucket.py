@@ -20,11 +20,12 @@ This module reproduces that abstraction:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn.module import Module
+from repro.tensorlib.dtypes import get_default_dtype
 
 #: Default bucket capacity, matching PyTorch DDP's 25 MiB default.
 DEFAULT_BUCKET_CAP_BYTES = 25 * 1024 * 1024
@@ -71,7 +72,7 @@ class Bucket:
         iteration) are filled with zeros, matching DDP's behaviour for unused
         parameters.
         """
-        flat = np.zeros(self.numel, dtype=np.float64)
+        flat = np.zeros(self.numel, dtype=get_default_dtype())
         for piece in self.slices:
             grad = grads_by_name.get(piece.param_name)
             if grad is None:
@@ -102,18 +103,37 @@ class GradBucket:
     * :attr:`index` — the bucket index (0 is the *last* bucket to be ready in
       real DDP; here simply the first bucket in reverse parameter order);
     * :meth:`buffer` / :attr:`buffers` — the flat 1-D per-rank gradients;
-    * :attr:`is_last` — whether this is the final bucket of the iteration.
+    * :attr:`is_last` — whether this is the final bucket of the iteration;
+    * :attr:`matrix` — the stacked ``(world_size, numel)`` gradient matrix
+      (zero-copy when the bucket is backed by a
+      :class:`~repro.ddp.arena.GradientArena`, stacked lazily otherwise).
 
     It deliberately does **not** expose parameter names or shapes.
     """
 
-    def __init__(self, bucket: Bucket, per_rank_flat: Sequence[np.ndarray], is_last: bool = False) -> None:
+    def __init__(
+        self,
+        bucket: Bucket,
+        per_rank_flat: Optional[Sequence[np.ndarray]] = None,
+        is_last: bool = False,
+        matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        if (per_rank_flat is None) == (matrix is None):
+            raise ValueError("provide exactly one of per_rank_flat or matrix")
+        self._bucket = bucket
+        self.is_last = is_last
+        if matrix is not None:
+            if matrix.ndim != 2 or matrix.shape[1] != bucket.numel:
+                raise ValueError("matrix must be (world_size, bucket.numel)")
+            self._matrix: Optional[np.ndarray] = matrix
+            self._buffers = list(matrix)
+            return
+        dtype = get_default_dtype()
         for flat in per_rank_flat:
             if flat.size != bucket.numel:
                 raise ValueError("per-rank flat gradient does not match bucket layout")
-        self._bucket = bucket
-        self._buffers = [np.asarray(f, dtype=np.float64) for f in per_rank_flat]
-        self.is_last = is_last
+        self._matrix = None
+        self._buffers = [np.asarray(f, dtype=dtype) for f in per_rank_flat]
 
     @property
     def index(self) -> int:
@@ -135,6 +155,23 @@ class GradBucket:
     def buffers(self) -> List[np.ndarray]:
         """Flat gradient of every rank (list indexed by rank)."""
         return self._buffers
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The ``(world_size, numel)`` gradient matrix, stacked at most once."""
+        if self._matrix is None:
+            self._matrix = np.stack(self._buffers)
+        return self._matrix
+
+    @property
+    def materialized_matrix(self) -> Optional[np.ndarray]:
+        """The matrix if one already exists (arena-backed buckets), else None.
+
+        Lets consumers offer the zero-copy matrix to stages that want it
+        without forcing a stack on list-backed buckets whose pipeline may
+        never read it.
+        """
+        return self._matrix
 
     def buffer(self, rank: int = 0) -> np.ndarray:
         """Flat gradient of one rank."""

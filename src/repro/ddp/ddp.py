@@ -6,11 +6,16 @@ of ``world_size`` replicas on a single process:
 1. every rank runs a real forward/backward pass on its own mini-batch (the
    replicas share one set of weights, which is mathematically identical to
    real DDP because every rank applies the same aggregated gradient);
-2. per-rank gradients are packed into flat buckets (reverse parameter order,
-   names erased — see :mod:`repro.ddp.bucket`);
+2. per-rank gradients are staged into a preallocated
+   :class:`~repro.ddp.arena.GradientArena` — one reusable ``(world_size,
+   numel)`` matrix per bucket (reverse parameter order, names erased — see
+   :mod:`repro.ddp.bucket`) — with no per-step flatten buffers;
 3. the registered communication hook aggregates each bucket through the
-   process group, which records modeled time and bytes;
-4. the aggregated gradients are unpacked back into ``param.grad`` so a single
+   process group, which records modeled time and bytes; the events each
+   bucket's hook issued are drained from the group's log per step (the group
+   keeps lifetime aggregates), so the log cannot grow with run length;
+4. the aggregated gradients are unpacked back into ``param.grad`` as views of
+   the reduced buffer (no copies on the float64 or float32 path) so a single
    optimiser step updates the shared weights.
 
 The result of each step reports the loss, the modeled communication time and
@@ -27,10 +32,12 @@ import numpy as np
 
 from repro.comm.collectives import CollectiveEvent
 from repro.comm.process_group import ProcessGroup
+from repro.ddp.arena import GradientArena
 from repro.ddp.bucket import Bucket, GradBucket, build_buckets, DEFAULT_BUCKET_CAP_BYTES
 from repro.ddp.hooks import CommHook, HookState, make_hook
 from repro.nn.module import Module
 from repro.tensorlib import Tensor
+from repro.tensorlib.dtypes import get_default_dtype
 
 
 @dataclass
@@ -86,6 +93,12 @@ class DistributedDataParallel:
         self._hook: CommHook = make_hook(comm_hook)
         self._hook_state = HookState(process_group=self.process_group)
         self._param_map = dict(model.named_parameters())
+        parameters = list(self._param_map.values())
+        #: Compute dtype of the gradient plumbing (the model's parameter dtype).
+        self.dtype = parameters[0].data.dtype if parameters else get_default_dtype()
+        #: Preallocated per-bucket (world_size, numel) gradient matrices,
+        #: reused every iteration.
+        self.arena = GradientArena(self.buckets, world_size, dtype=self.dtype)
 
     # ------------------------------------------------------------------ #
     # Hook management
@@ -105,15 +118,21 @@ class DistributedDataParallel:
         self,
         batch: Tuple[np.ndarray, np.ndarray],
         loss_fn: Callable[[Tensor, np.ndarray], Tensor],
+        copy: bool = True,
     ) -> Tuple[float, Dict[str, np.ndarray]]:
-        """Run forward/backward for one rank's batch and return its gradients."""
+        """Run forward/backward for one rank's batch and return its gradients.
+
+        ``copy=False`` returns the live ``param.grad`` arrays instead of
+        copies — valid only when the caller consumes them (e.g. stages them
+        into the arena) before the next rank's backward pass overwrites them.
+        """
         images, labels = batch
         self.model.zero_grad()
         logits = self.model(Tensor(images))
         loss = loss_fn(logits, labels)
         loss.backward()
         grads = {
-            name: param.grad.copy()
+            name: (param.grad.copy() if copy else param.grad)
             for name, param in self._param_map.items()
             if param.grad is not None
         }
@@ -135,16 +154,17 @@ class DistributedDataParallel:
             )
 
         per_rank_losses: List[float] = []
-        per_rank_grads: List[Dict[str, np.ndarray]] = []
-        for batch in per_rank_batches:
-            loss_value, grads = self.compute_local_gradients(batch, loss_fn)
+        for rank, batch in enumerate(per_rank_batches):
+            # copy=False: gradients go straight from param.grad into the arena
+            # row, skipping one full-model copy per rank per step.
+            loss_value, grads = self.compute_local_gradients(batch, loss_fn, copy=False)
+            self.arena.write_rank(rank, grads)
             per_rank_losses.append(loss_value)
-            per_rank_grads.append(grads)
 
-        aggregated, bucket_events = self.synchronize_gradients_traced(per_rank_grads)
+        aggregated, bucket_events = self.synchronize_staged()
         self._write_back(aggregated)
 
-        events = self.process_group.pop_events()
+        events = [event for per_bucket in bucket_events for event in per_bucket]
         comm_time = float(sum(e.time_seconds for e in events))
         comm_bytes = float(sum(e.bytes_per_worker for e in events))
         self._hook_state.iteration += 1
@@ -163,11 +183,16 @@ class DistributedDataParallel:
     # ------------------------------------------------------------------ #
     # Gradient synchronisation
     # ------------------------------------------------------------------ #
+    def stage_rank_gradients(self, rank: int, grads_by_name: Dict[str, np.ndarray]) -> None:
+        """Write one rank's named gradients into its arena rows."""
+        self.arena.write_rank(rank, grads_by_name)
+
     def synchronize_gradients(
         self,
         per_rank_grads: Sequence[Dict[str, np.ndarray]],
     ) -> Dict[str, np.ndarray]:
-        """Bucket per-rank gradients, run the hook per bucket, unpack the result."""
+        """Stage per-rank gradients into the arena, run the hook per bucket,
+        unpack the result."""
         aggregated, _ = self.synchronize_gradients_traced(per_rank_grads)
         return aggregated
 
@@ -177,43 +202,71 @@ class DistributedDataParallel:
     ) -> Tuple[Dict[str, np.ndarray], List[List[CollectiveEvent]]]:
         """:meth:`synchronize_gradients`, also returning per-bucket events.
 
-        The second element groups the process group's collective events by the
-        bucket whose hook issued them (one — or, for adaptive compressors,
-        several — per bucket), which is what the event-driven engine needs to
-        schedule each bucket's collective against backward compute.  Events
-        are *not* popped from the group's log; the caller still drains it once
-        per iteration.
+        The second element groups the collective events by the bucket whose
+        hook issued them (one — or, for adaptive compressors, several — per
+        bucket), which is what the event-driven engine needs to schedule each
+        bucket's collective against backward compute.  The events are
+        *drained* from the process group's per-step log as they are grouped
+        (the group keeps running lifetime aggregates), so a long run's log
+        stays bounded no matter how the caller drives synchronisation.
         """
-        if len(per_rank_grads) != self.world_size:
-            raise ValueError("need one gradient dict per rank")
+        self.arena.write_all(per_rank_grads)
+        return self.synchronize_staged()
+
+    def synchronize_staged(self) -> Tuple[Dict[str, np.ndarray], List[List[CollectiveEvent]]]:
+        """Aggregate the gradients currently staged in the arena."""
+        group = self.process_group
         aggregated: Dict[str, np.ndarray] = {}
         bucket_events: List[List[CollectiveEvent]] = []
         last_index = len(self.buckets) - 1
         for bucket in self.buckets:
-            flats = [bucket.flatten(grads) for grads in per_rank_grads]
-            grad_bucket = GradBucket(bucket, flats, is_last=bucket.index == last_index)
-            events_before = len(self.process_group.events)
+            grad_bucket = GradBucket(
+                bucket,
+                matrix=self.arena.matrix(bucket.index),
+                is_last=bucket.index == last_index,
+            )
+            events_before = len(group.events)
             reduced = self._hook(self._hook_state, grad_bucket)
-            bucket_events.append(list(self.process_group.events[events_before:]))
-            reduced = np.asarray(reduced, dtype=np.float64).reshape(-1)
-            if reduced.size != bucket.numel:
-                raise ValueError(
-                    f"hook returned {reduced.size} elements for bucket {bucket.index}, "
-                    f"expected {bucket.numel}"
-                )
-            aggregated.update(bucket.unflatten(reduced))
+            bucket_events.append(group.events[events_before:])
+            del group.events[events_before:]
+            aggregated.update(bucket.unflatten(self._ensure_flat(reduced, bucket)))
         return aggregated, bucket_events
+
+    def _ensure_flat(self, reduced, bucket: Bucket) -> np.ndarray:
+        """Coerce a hook result to a flat compute-dtype array without copying.
+
+        Already-flat arrays of the right dtype pass through untouched (the
+        aggregated gradients then alias the hook's reduced buffer, which is
+        fresh per step).  A result aliasing the arena itself *is* copied —
+        otherwise the next step's staging would silently corrupt ``param.grad``.
+        """
+        array = np.asarray(reduced)
+        if array.dtype != self.dtype:
+            array = array.astype(self.dtype)
+        array = array.reshape(-1)
+        if array.size != bucket.numel:
+            raise ValueError(
+                f"hook returned {array.size} elements for bucket {bucket.index}, "
+                f"expected {bucket.numel}"
+            )
+        if self.arena.shares_memory_with(array):
+            array = array.copy()
+        return array
 
     def apply_aggregated_gradients(self, aggregated: Dict[str, np.ndarray]) -> None:
         """Public entry point for writing externally aggregated gradients back."""
         self._write_back(aggregated)
 
     def _write_back(self, aggregated: Dict[str, np.ndarray]) -> None:
+        dtype = self.dtype
         for name, grad in aggregated.items():
             param = self._param_map.get(name)
             if param is None:
                 raise KeyError(f"aggregated gradient for unknown parameter {name!r}")
-            param.grad = np.asarray(grad, dtype=np.float64)
+            # No-copy in the common case: unflatten returns correctly-shaped
+            # views in the compute dtype already.
+            grad = np.asarray(grad)
+            param.grad = grad if grad.dtype == dtype else grad.astype(dtype)
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -95,10 +95,28 @@ class BatchNorm2d(Module):
         self.momentum = momentum
         self.weight = Parameter(init.ones((num_features,)))
         self.bias = Parameter(init.zeros((num_features,)))
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        self.register_buffer("running_mean", init.zeros((num_features,)))
+        self.register_buffer("running_var", init.ones((num_features,)))
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.training and x.dtype == np.float32:
+            # Float32 fast path: one fused graph node with the analytic
+            # batch-norm backward.  The float64 path below keeps the composite
+            # formulation so its results stay bit-identical to the historical
+            # behaviour.
+            batch_mean = x.data.mean(axis=(0, 2, 3))
+            centered = x.data - batch_mean.reshape(1, -1, 1, 1)
+            batch_var = np.mean(centered * centered, axis=(0, 2, 3))
+            self.update_buffer(
+                "running_mean", (1 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            )
+            self.update_buffer(
+                "running_var", (1 - self.momentum) * self.running_var + self.momentum * batch_var
+            )
+            return F.fused_norm(
+                x, self.weight, self.bias, axes=(0, 2, 3), eps=self.eps,
+                param_shape=(1, self.num_features, 1, 1),
+            )
         if self.training:
             mean = x.mean(axis=(0, 2, 3), keepdims=True)
             var = x.var(axis=(0, 2, 3), keepdims=True)
@@ -126,6 +144,12 @@ class LayerNorm(Module):
         self.bias = Parameter(init.zeros((normalized_shape,)))
 
     def forward(self, x: Tensor) -> Tensor:
+        if x.dtype == np.float32:
+            # Same fused fast path as BatchNorm2d (float64 stays composite).
+            return F.fused_norm(
+                x, self.weight, self.bias, axes=(x.ndim - 1,), eps=self.eps,
+                param_shape=self.weight.shape,
+            )
         mean = x.mean(axis=-1, keepdims=True)
         var = x.var(axis=-1, keepdims=True)
         normalised = (x - mean) / (var + self.eps).sqrt()
@@ -226,7 +250,9 @@ class MultiHeadAttention(Module):
         qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, hd)
         q, k, v = qkv[0], qkv[1], qkv[2]
 
-        scale = 1.0 / np.sqrt(self.head_dim)
+        # Python-float scale: keeps float32 activations from being promoted
+        # to float64 by a numpy scalar under NEP 50.
+        scale = 1.0 / float(np.sqrt(self.head_dim))
         attn = q.matmul(k.swapaxes(-1, -2)) * scale  # (B, H, T, T)
         attn = attn.softmax(axis=-1)
         context = attn.matmul(v)  # (B, H, T, hd)

@@ -112,6 +112,23 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def to(self, dtype) -> "Module":
+        """Cast all parameters, gradients and buffers to a compute dtype in place.
+
+        Mirrors ``torch.nn.Module.to(dtype)`` for the supported compute dtypes
+        (float32/float64); arrays already in the target dtype are left as-is.
+        """
+        from repro.tensorlib.dtypes import resolve_dtype  # noqa: PLC0415
+
+        resolved = resolve_dtype(dtype)
+        for _, param in self.named_parameters():
+            param.data = np.asarray(param.data, dtype=resolved)
+            if param.grad is not None:
+                param.grad = np.asarray(param.grad, dtype=resolved)
+        for _, owner, local in self._iter_buffer_owners():
+            owner.update_buffer(local, np.asarray(owner._buffers[local], dtype=resolved))
+        return self
+
     # ------------------------------------------------------------------ #
     # State management
     # ------------------------------------------------------------------ #

@@ -72,10 +72,15 @@ class SGD(Optimizer):
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             if self.momentum:
-                if self._velocity[index] is None:
-                    self._velocity[index] = np.zeros_like(param.data)
-                self._velocity[index] = self.momentum * self._velocity[index] + grad
-                grad = self._velocity[index]
+                velocity = self._velocity[index]
+                if velocity is None:
+                    velocity = self._velocity[index] = np.zeros_like(param.data)
+                # In-place v = momentum * v + grad: the same two ufuncs (and
+                # therefore the same floats) as the out-of-place update,
+                # without reallocating the velocity buffer every step.
+                np.multiply(velocity, self.momentum, out=velocity)
+                np.add(velocity, grad, out=velocity)
+                grad = velocity
             param.data = param.data - self.lr * grad
 
     def set_lr(self, lr: float) -> None:

@@ -1,0 +1,345 @@
+"""The perf microbenchmark suite.
+
+Four tracked hot paths, each timed with warmup iterations followed by
+median-of-k measurement (the median is robust to scheduler noise; min and mean
+are reported alongside):
+
+* ``train_step/<dtype>`` — a full 4-rank ResNet-18 DDP training step (forward,
+  backward, arena staging, all-reduce, write-back, optimiser) in float64 and
+  float32;
+* ``codec/<spec>`` — encode→reduce/gather→decode round trips of representative
+  codec pipelines over a (4, numel) gradient matrix;
+* ``engine/event_loop`` — the discrete-event engine scheduling many buckets
+  over heterogeneous ranks;
+* ``campaign/dispatch`` — campaign cell expansion plus content-address
+  fingerprinting (the runner's per-cell dispatch overhead, no training).
+
+``run_suite`` returns results keyed by benchmark name; ``write_report`` emits
+the ``BENCH_perf.json`` document and ``check_regressions`` compares a run
+against a committed baseline with a configurable noise margin.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Report schema version (bump when the JSON layout changes).
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class BenchResult:
+    """Timing summary of one microbenchmark."""
+
+    name: str
+    median_s: float
+    mean_s: float
+    min_s: float
+    repeats: int
+    warmup: int
+    meta: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "median_s": self.median_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict) -> "BenchResult":
+        return cls(
+            name=name,
+            median_s=float(data["median_s"]),
+            mean_s=float(data.get("mean_s", data["median_s"])),
+            min_s=float(data.get("min_s", data["median_s"])),
+            repeats=int(data.get("repeats", 1)),
+            warmup=int(data.get("warmup", 0)),
+            meta=dict(data.get("meta", {})),
+        )
+
+
+def time_callable(
+    fn: Callable[[], object],
+    name: str,
+    repeats: int,
+    warmup: int,
+    meta: Optional[Dict[str, float]] = None,
+) -> BenchResult:
+    """Median-of-k wall-clock timing with warmup (perf_counter based)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return BenchResult(
+        name=name,
+        median_s=float(statistics.median(samples)),
+        mean_s=float(statistics.fmean(samples)),
+        min_s=float(min(samples)),
+        repeats=repeats,
+        warmup=warmup,
+        meta=dict(meta or {}),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Benchmarks
+# --------------------------------------------------------------------------- #
+def _train_step_setup(dtype: str, world_size: int = 4):
+    # Imported lazily so `repro.perf` stays importable without pulling the
+    # whole training stack at module import time.
+    from repro.comm.process_group import ProcessGroup  # noqa: PLC0415
+    from repro.data import DataLoader, DistributedSampler, synthetic_cifar10  # noqa: PLC0415
+    from repro.ddp import DistributedDataParallel  # noqa: PLC0415
+    from repro.nn.models import build_model  # noqa: PLC0415
+    from repro.tensorlib import default_dtype, functional as F  # noqa: PLC0415
+
+    with default_dtype(dtype):
+        dataset = synthetic_cifar10(num_samples=128, image_size=8, seed=0)
+        model = build_model("resnet18", num_classes=10, seed=0)
+        ddp = DistributedDataParallel(model, world_size=world_size, process_group=ProcessGroup(world_size))
+        loaders = [
+            DataLoader(dataset, batch_size=16, sampler=DistributedSampler(len(dataset), world_size, rank, seed=0))
+            for rank in range(world_size)
+        ]
+        batches = [next(iter(loader)) for loader in loaders]
+
+    def step() -> None:
+        with default_dtype(dtype):
+            ddp.train_step(batches, F.cross_entropy)
+
+    return step
+
+
+def bench_train_step(quick: bool) -> List[BenchResult]:
+    """4-rank ResNet-18 train step, float64 and float32 compute paths."""
+    repeats, warmup = (5, 1) if quick else (11, 3)
+    results = []
+    for dtype in ("float64", "float32"):
+        step = _train_step_setup(dtype)
+        results.append(
+            time_callable(
+                step,
+                name=f"train_step/{dtype}/resnet18/w4",
+                repeats=repeats,
+                warmup=warmup,
+                meta={"world_size": 4, "batch_size": 16},
+            )
+        )
+    return results
+
+
+def bench_codec(quick: bool) -> List[BenchResult]:
+    """Encode→aggregate→decode round trips of representative pipelines."""
+    from repro.comm.process_group import ProcessGroup  # noqa: PLC0415
+    from repro.compression.registry import build_compressor  # noqa: PLC0415
+    from repro.ddp.bucket import Bucket, BucketSlice, GradBucket  # noqa: PLC0415
+
+    numel = 50_000 if quick else 200_000
+    world = 4
+    repeats, warmup = (5, 1) if quick else (15, 3)
+    rng = np.random.default_rng(0)
+    matrix = rng.standard_normal((world, numel))
+    bucket = Bucket(index=0, slices=[BucketSlice("flat", 0, numel, (numel,))])
+
+    results = []
+    for spec in ("fp16", "topk0.01", "topk0.01+terngrad", "randomk0.1"):
+        compressor = build_compressor(spec, seed=0)
+        group = ProcessGroup(world)
+
+        def roundtrip(compressor=compressor, group=group) -> None:
+            grad_bucket = GradBucket(bucket, matrix=matrix)
+            compressor.aggregate(grad_bucket, group, iteration=0)
+            group.events.clear()
+
+        results.append(
+            time_callable(
+                roundtrip,
+                name=f"codec/{spec}",
+                repeats=repeats,
+                warmup=warmup,
+                meta={"numel": numel, "world_size": world},
+            )
+        )
+    return results
+
+
+def bench_engine(quick: bool) -> BenchResult:
+    """Event-loop throughput: many buckets over heterogeneous ranks."""
+    from repro.simulation.engine import SimulationEngine  # noqa: PLC0415
+
+    iterations = 100 if quick else 400
+    ranks = 8
+    buckets = 32
+    engine = SimulationEngine(overlap=True)
+    per_rank_compute = [0.01 * (1.0 + 0.05 * rank) for rank in range(ranks)]
+    fractions = [(index + 1) / buckets for index in range(buckets)]
+    comm = [0.001 + 0.0001 * index for index in range(buckets)]
+
+    def run() -> None:
+        for _ in range(iterations):
+            engine.run_iteration(per_rank_compute, fractions, comm)
+
+    return time_callable(
+        run,
+        name="engine/event_loop",
+        repeats=5 if quick else 9,
+        warmup=1 if quick else 2,
+        meta={"iterations": iterations, "ranks": ranks, "buckets": buckets},
+    )
+
+
+def bench_campaign_dispatch(quick: bool) -> BenchResult:
+    """Campaign expansion + content-address fingerprinting of every cell."""
+    from repro.campaign.spec import CampaignSpec  # noqa: PLC0415
+
+    spec = CampaignSpec(
+        name="perf-dispatch",
+        base={"epochs": 2, "dataset_samples": 64, "max_iterations_per_epoch": 1},
+        axes={
+            "model": ["resnet18", "vgg19", "vit-base-16", "mlp"],
+            "method": ["all-reduce", "fp16", "topk-0.01", "pactrain"],
+            "bandwidth": ["100Mbps", "1Gbps"],
+            "seed": [0, 1],
+        },
+    )
+
+    def dispatch() -> None:
+        for cell in spec.expand():
+            cell.fingerprint()
+
+    return time_callable(
+        dispatch,
+        name="campaign/dispatch",
+        repeats=3 if quick else 7,
+        warmup=1,
+        meta={"cells": float(len(spec.expand()))},
+    )
+
+
+#: name -> factory returning one result or a list of results.
+SUITE: Dict[str, Callable[[bool], object]] = {
+    "train_step": bench_train_step,
+    "codec": bench_codec,
+    "engine": bench_engine,
+    "campaign": bench_campaign_dispatch,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Runner / report / regression check
+# --------------------------------------------------------------------------- #
+def run_suite(
+    quick: bool = False,
+    only: Optional[List[str]] = None,
+    progress: Optional[Callable[[BenchResult], None]] = None,
+) -> Dict[str, BenchResult]:
+    """Run (a subset of) the suite; returns results keyed by benchmark name."""
+    selected = list(SUITE) if not only else only
+    unknown = set(selected) - set(SUITE)
+    if unknown:
+        raise KeyError(f"unknown perf benchmarks {sorted(unknown)}; available: {sorted(SUITE)}")
+    results: Dict[str, BenchResult] = {}
+    for key in selected:
+        outcome = SUITE[key](quick)
+        for result in outcome if isinstance(outcome, list) else [outcome]:
+            results[result.name] = result
+            if progress is not None:
+                progress(result)
+    return results
+
+
+def _derived_metrics(results: Dict[str, BenchResult]) -> Dict[str, float]:
+    derived: Dict[str, float] = {}
+    f64 = results.get("train_step/float64/resnet18/w4")
+    f32 = results.get("train_step/float32/resnet18/w4")
+    if f64 and f32 and f32.median_s > 0:
+        derived["train_step_float32_speedup_vs_float64"] = f64.median_s / f32.median_s
+    return derived
+
+
+def write_report(
+    results: Dict[str, BenchResult],
+    path: str,
+    quick: bool,
+    seed_baseline: Optional[Dict] = None,
+) -> Dict:
+    """Write the ``BENCH_perf.json`` document and return it.
+
+    ``seed_baseline`` (when given, e.g. copied forward from the committed
+    report) records the pre-optimisation measurements and the speedups of the
+    current run against them.
+    """
+    document: Dict = {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": {name: result.to_dict() for name, result in sorted(results.items())},
+        "derived": _derived_metrics(results),
+    }
+    if seed_baseline:
+        document["seed_baseline"] = seed_baseline
+        speedups = {}
+        for name, entry in seed_baseline.get("results", {}).items():
+            current = results.get(name)
+            baseline_median = entry.get("median_s", 0.0)
+            if current and current.median_s > 0 and baseline_median:
+                speedups[name] = baseline_median / current.median_s
+        # The seed tree has no float32 path; its train-step baseline is the
+        # float64 measurement, so the float32 row is also compared against it.
+        f32 = results.get("train_step/float32/resnet18/w4")
+        seed_f64 = seed_baseline.get("results", {}).get("train_step/float64/resnet18/w4", {})
+        if f32 and f32.median_s > 0 and seed_f64.get("median_s"):
+            speedups["train_step/float32/resnet18/w4"] = seed_f64["median_s"] / f32.median_s
+        document["speedup_vs_seed"] = speedups
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def check_regressions(
+    results: Dict[str, BenchResult],
+    baseline: Dict,
+    max_regression: float = 0.25,
+) -> List[Tuple[str, float, float]]:
+    """Compare run medians against a baseline report document.
+
+    Returns ``(name, current_median, baseline_median)`` for every benchmark
+    whose median exceeds the baseline by more than ``max_regression``
+    (fractional; 0.25 = 25 % slower).  Benchmarks missing on either side are
+    skipped — adding a new benchmark must not fail old baselines — and so are
+    benchmarks whose ``meta`` (workload size) differs from the baseline's:
+    a ``--quick`` run's shrunken codec/engine workloads are not comparable to
+    full-mode medians, while same-workload benches (train step) still gate.
+    """
+    regressions: List[Tuple[str, float, float]] = []
+    for name, entry in baseline.get("results", {}).items():
+        current = results.get(name)
+        baseline_median = float(entry.get("median_s", 0.0))
+        if current is None or baseline_median <= 0.0:
+            continue
+        if dict(entry.get("meta", {})) != dict(current.meta):
+            continue
+        if current.median_s > baseline_median * (1.0 + max_regression):
+            regressions.append((name, current.median_s, baseline_median))
+    return regressions

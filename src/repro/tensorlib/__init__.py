@@ -20,6 +20,12 @@ speed, since training time in the experiments is *modeled* (see
 """
 
 from repro.tensorlib.tensor import Tensor, no_grad, is_grad_enabled, set_grad_enabled
+from repro.tensorlib.dtypes import (
+    default_dtype,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
 from repro.tensorlib import functional
 from repro.tensorlib import init
 
@@ -28,6 +34,10 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "set_grad_enabled",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
+    "resolve_dtype",
     "functional",
     "init",
 ]
