@@ -8,11 +8,15 @@
   optionally normalise methods against a baseline (relative TTA);
 * ``perf`` — run the tracked performance microbenchmarks
   (:mod:`repro.perf`), write ``BENCH_perf.json`` and optionally gate on a
-  committed baseline (``--check``).
+  committed baseline (``--check``);
+* ``golden`` — verify the committed golden-trace fixtures (``tests/golden/``)
+  against fresh runs, or rewrite them with ``--update`` after an intentional
+  numerical change (:mod:`repro.golden`).
 
 Every command exits non-zero on failure; ``sweep`` exits non-zero if any cell
 failed (the remaining cells still run and persist), ``perf --check`` exits
-non-zero when a benchmark regressed beyond the allowed margin.
+non-zero when a benchmark regressed beyond the allowed margin, ``golden``
+exits non-zero when any frozen trace drifted.
 """
 
 from __future__ import annotations
@@ -233,6 +237,30 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_golden(args: argparse.Namespace) -> int:
+    # Imported lazily: the golden module pulls in the training stack.
+    from repro import golden  # noqa: PLC0415
+
+    if args.update:
+        def progress(name: str, path: str) -> None:
+            if not args.quiet:
+                print(f"wrote {path}  ({name})", flush=True)
+
+        golden.regenerate(args.dir, progress=progress)
+        return 0
+
+    drifted = golden.verify(args.dir, rtol=args.rtol)
+    if drifted:
+        for name, diffs in drifted.items():
+            print(golden.format_diff(name, diffs), file=sys.stderr)
+        return 1
+    if not args.quiet:
+        directory = args.dir or golden.DEFAULT_GOLDEN_DIR
+        how = "bit-identically" if args.rtol == 0.0 else f"within rtol={args.rtol:g}"
+        print(f"all {len(golden.GOLDEN_METHODS)} golden traces match {directory} {how}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     if not len(store):
@@ -331,6 +359,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="subset of benchmark groups (train_step codec engine campaign)")
     perf.add_argument("--quiet", action="store_true")
     perf.set_defaults(func=cmd_perf)
+
+    golden = sub.add_parser("golden", help="verify or regenerate golden-trace fixtures")
+    golden.add_argument("--update", action="store_true",
+                        help="rewrite the fixtures from fresh runs instead of verifying")
+    golden.add_argument("--dir", default=None,
+                        help="fixture directory (default: tests/golden)")
+    golden.add_argument("--rtol", type=float, default=0.0,
+                        help="relative tolerance for verification "
+                             "(default 0.0 = bit-identical)")
+    golden.add_argument("--quiet", action="store_true")
+    golden.set_defaults(func=cmd_golden)
     return parser
 
 
