@@ -13,7 +13,12 @@ as a fast micro-benchmark of the compressor implementations themselves.
 
 Beyond the paper's named methods, two *composed* codec pipelines
 (``topk0.01+terngrad``, ``randomk0.1+fp16``) demonstrate that arbitrary stage
-compositions flow through the same driver and accounting.
+compositions flow through the same driver and accounting, and the
+signSGD / PowerSGD / error-feedback families added on top of the codec driver
+report their measured wire formats alongside: one bit per coordinate plus a
+scale for ``signsgd``, ``(m+n)*rank`` fp32 factors for ``powersgd-rank4``, and
+byte-for-byte parity between ``ef+topk0.01`` and plain top-k (the residual
+state never touches the network).
 """
 
 from __future__ import annotations
@@ -41,6 +46,10 @@ METHODS = (
     "pactrain-terngrad",
     "topk0.01+terngrad",
     "randomk0.1+fp16",
+    "signsgd",
+    "powersgd-rank4",
+    "ef+topk0.01",
+    "ef+signsgd",
 )
 
 
@@ -126,3 +135,11 @@ def bench_comm_volume_per_method(benchmark):
     # the random-k values halves their wire size.
     assert report["topk0.01+terngrad"]["bytes"] < report["topk-0.01"]["bytes"]
     assert report["randomk0.1+fp16"]["bytes"] < report["fp16"]["bytes"]
+    # signSGD moves one bit per coordinate (plus one fp32 scale per sync):
+    # ~32x below the fp32 baseline, measured off the packed payload.
+    assert report["signsgd"]["bytes"] < report["allreduce"]["bytes"] / 25
+    # PowerSGD rank 4 moves (m+n)*rank fp32 factors per sync.
+    assert report["powersgd-rank4"]["bytes"] < report["allreduce"]["bytes"] / 25
+    # Error feedback changes convergence, never wire bytes.
+    assert report["ef+topk0.01"]["bytes"] == report["topk-0.01"]["bytes"]
+    assert report["ef+signsgd"]["bytes"] == report["signsgd"]["bytes"]

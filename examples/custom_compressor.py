@@ -17,6 +17,12 @@ built on:
 Note there is no byte bookkeeping anywhere in the custom code: the collective
 layer reads the wire size straight off the payload (``payload.nbytes``).
 
+A production version of this idea ships built in as
+:class:`repro.compression.codec.Sign` (spec ``"signsgd"``, or ``"ef+signsgd"``
+with driver-level error feedback): bit-packed :class:`SignPayload` wire format
+and a majority-vote reduce.  This example keeps its own toy stage because its
+point is the extension API, not the codec.
+
 Run with:  python examples/custom_compressor.py
 """
 

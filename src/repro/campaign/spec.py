@@ -16,9 +16,12 @@ ways:
 ready for the runner.  Axis names route automatically: experiment fields
 (``model``, ``epochs``, ``seed`` ...) into :class:`ExperimentConfig`, cluster
 fields (``bandwidth``, ``world_size``, ``overlap``, ``straggler``,
-``hierarchical`` ...) into :class:`ClusterSpec`, and ``method`` resolves
-through the spec's method table, the paper's named methods, then the
-compressor registry / codec spec grammar.
+``hierarchical`` ...) into :class:`ClusterSpec`, ``method`` resolves through
+the spec's method table, the paper's named methods, then the compressor
+registry / codec spec grammar, and :class:`MethodSpec` field names
+(``error_feedback``, ``pruning_ratio``, ``quantize`` ...) override the
+resolved method per cell — so ``"error_feedback": [false, true]`` sweeps
+every method with and without the driver's error-feedback residual state.
 
 Specs round-trip through plain dicts (``from_dict`` / ``to_dict``) and load
 from JSON or TOML files (``from_file``), which is what ``python -m repro
@@ -46,6 +49,13 @@ CONFIG_AXES = frozenset(
 CLUSTER_AXES = frozenset(f.name for f in dataclasses.fields(ClusterSpec))
 #: The method axis selects the synchronisation method per cell.
 METHOD_AXIS = "method"
+#: Axis names that override fields of the resolved method — e.g.
+#: ``"error_feedback": [false, true]`` sweeps every method with and without
+#: the driver's error-feedback residual state.  ``name`` is excluded (it
+#: identifies the method; override it via a dict-valued ``method`` axis).
+METHOD_FIELD_AXES = frozenset(
+    f.name for f in dataclasses.fields(MethodSpec) if f.name != "name"
+)
 
 
 @dataclass(frozen=True)
@@ -103,6 +113,7 @@ def build_cell(
     merged = {**(base or {}), **overrides}
     config_kwargs: Dict = {}
     cluster_kwargs: Dict = {}
+    method_overrides: Dict = {}
     method_value: Union[str, Dict, MethodSpec] = "all-reduce"
     for name, value in merged.items():
         if name == METHOD_AXIS:
@@ -115,13 +126,39 @@ def build_cell(
             config_kwargs[name] = value
         elif name in CLUSTER_AXES:
             cluster_kwargs[name] = value
+        elif name in METHOD_FIELD_AXES:
+            method_overrides[name] = value
         else:
             raise KeyError(
                 f"unknown campaign axis {name!r}; experiment axes: {sorted(CONFIG_AXES)}, "
-                f"cluster axes: {sorted(CLUSTER_AXES)}, or 'method'"
+                f"cluster axes: {sorted(CLUSTER_AXES)}, method-field axes: "
+                f"{sorted(METHOD_FIELD_AXES)}, or 'method'"
             )
     config = ExperimentConfig(cluster=ClusterSpec.from_dict(cluster_kwargs), **config_kwargs)
-    return CampaignCell(config=config, method=resolve_method(method_value, methods))
+    method = resolve_method(method_value, methods)
+    if method_overrides:
+        renamed = method.name
+        # A compressor override must be reflected in the reported method name
+        # — otherwise every cell of a compressor axis reports under the base
+        # method's name and distinct compressors silently merge in pivots.
+        # Only explicitly curated methods (dict values, MethodSpec instances,
+        # the campaign's own methods table) keep their given name.
+        curated = not isinstance(method_value, str) or bool(
+            methods and method_value in methods
+        )
+        new_compressor = method_overrides.get("compressor")
+        if new_compressor is not None and not curated:
+            renamed = new_compressor
+        # Keep EF on/off arms distinguishable in method-keyed reports: the
+        # forced-on arm gains the ef+ prefix, the forced-off arm (which strips
+        # even spec-default compensation, e.g. top-k's) a -noef suffix.
+        ef_override = method_overrides.get("error_feedback")
+        if ef_override and not method.error_feedback and not renamed.startswith("ef+"):
+            renamed = f"ef+{renamed}"
+        elif ef_override is False and not renamed.endswith("-noef"):
+            renamed = f"{renamed}-noef"
+        method = dataclasses.replace(method, name=renamed, **method_overrides)
+    return CampaignCell(config=config, method=method)
 
 
 @dataclass

@@ -29,7 +29,12 @@ from repro.simulation.experiment import ExperimentConfig, ExperimentResult, Meth
 #: Bumped whenever the stored record layout (or the meaning of a stored field)
 #: changes incompatibly; part of every fingerprint, so old records are simply
 #: never hit again rather than misread.
-RESULT_SCHEMA_VERSION = 1
+#:
+#: History: 2 — ``MethodSpec`` gained ``error_feedback`` (and the
+#: signsgd/powersgd compressor families changed what a spec string can mean),
+#: so records persisted by schema-1 stores are invalidated instead of being
+#: silently served for the extended cell space.
+RESULT_SCHEMA_VERSION = 2
 
 
 def _mean(values: Sequence[float]) -> float:

@@ -38,12 +38,15 @@ from repro.compression.codec import (
     DensePayload,
     EncodeContext,
     HalfPayload,
+    LowRankPayload,
     Pipeline,
+    SignPayload,
     SparsePayload,
     TernaryPayload,
     WirePayload,
     as_payload,
     parse_codec_spec,
+    parse_compressor_spec,
 )
 from repro.compression.none import NoCompression
 from repro.compression.fp16 import FP16Compressor
@@ -64,11 +67,14 @@ __all__ = [
     "SparsePayload",
     "TernaryPayload",
     "BitmaskPayload",
+    "SignPayload",
+    "LowRankPayload",
     "as_payload",
     "Codec",
     "EncodeContext",
     "Pipeline",
     "parse_codec_spec",
+    "parse_compressor_spec",
     "NoCompression",
     "FP16Compressor",
     "TopKCompressor",

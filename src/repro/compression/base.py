@@ -127,6 +127,16 @@ class CodecCompressor(Compressor):
     3. **decodes** back to the dense average gradient, accumulating gathered
        payloads into one preallocated buffer (peak memory O(numel)).
 
+    With ``error_feedback=True`` the driver additionally keeps one residual
+    matrix per bucket — the ``(world_size, numel)`` gradient mass each rank's
+    *own* encoding failed to represent.  Encoding then sees the compensated
+    gradient ``grad + residual`` and, after encoding, the residual is rewritten
+    to ``input - decode(own payload)``, so every coordinate a lossy compressor
+    drops is retransmitted once the accumulated error grows large enough
+    (EF-SGD, Karimireddy et al., 2019).  The residual buffers are owned by the
+    compressor — never views into the DDP gradient arena — so they survive
+    arena staging and bucket reuse across iterations.
+
     Subclasses may override :meth:`_pipeline_for` to pick the pipeline
     adaptively per bucket/iteration (PacTrain's stable/fallback switch).
     """
@@ -135,56 +145,181 @@ class CodecCompressor(Compressor):
         self,
         pipeline: Union[Codec, Sequence[Codec], Pipeline],
         name: Optional[str] = None,
+        error_feedback: bool = False,
     ) -> None:
         super().__init__()
         self.pipeline = as_pipeline(pipeline)
-        self.name = name if name is not None else self.pipeline.spec()
+        self.error_feedback = bool(error_feedback)
+        if name is None:
+            name = self.pipeline.spec()
+            if self.error_feedback:
+                name = f"ef+{name}"
+        self.name = name
+        # Per-bucket (world_size, numel) error-feedback residuals.
+        self._residuals: Dict[int, np.ndarray] = {}
+        if self.error_feedback:
+            self._adopt_driver_error_feedback()
         self.allreduce_compatible = self.pipeline.allreduce_compatible
         self.lossless = self.pipeline.lossless
 
     # ------------------------------------------------------------------ #
+    def _check_driver_ef_composable(self) -> None:
+        """Refuse EF toggling around stages that compensate by construction.
+
+        Momentum-corrected DGC accumulates unsent gradient mass in its own
+        (momentum, accumulation) buffers as an inseparable part of the
+        algorithm: layering the driver residual on top would double-count
+        every dropped coordinate, and "stripping" the compensation would not
+        leave DGC behind.  Either request fails loudly instead.
+        """
+        for stage in self.pipeline.stages:
+            if getattr(stage, "self_compensating", False):
+                raise ValueError(
+                    f"stage {stage.spec()!r} accumulates unsent gradient mass "
+                    "internally (momentum-corrected DGC); driver-level error "
+                    "feedback cannot be layered around or stripped from it"
+                )
+
+    def _adopt_driver_error_feedback(self) -> None:
+        """Make the pipeline safe to run under the driver residual.
+
+        Stage-internal error feedback (TopK's residuals) is disabled so the
+        unsent gradient mass is not accumulated twice, and unbiased rescaling
+        (random-k's ``numel/k`` decode factor) is switched off — against a
+        rescaled decode, ``input - decode`` is an *expansion* of the error,
+        not a contraction, and EF training would diverge.  With EF the raw
+        selection is the correct transmit; the residual resends what was
+        dropped.
+        """
+        self._check_driver_ef_composable()
+        for stage in self.pipeline.stages:
+            if getattr(stage, "error_feedback", False):
+                stage.error_feedback = False
+                stage.reset()
+            if getattr(stage, "rescale", False):
+                stage.rescale = False
+                # Remembered so disable_error_feedback can restore the
+                # unbiased estimator when EF is later switched off again.
+                stage._rescale_disabled_by_driver = True
+
+    def enable_error_feedback(self) -> None:
+        """Switch on driver-level error feedback after construction.
+
+        Used when a :class:`~repro.simulation.experiment.MethodSpec` requests
+        ``error_feedback=True`` for a registry-built compressor.  Stage-internal
+        compensation and unbiased rescaling are disabled at the same time (see
+        :meth:`_adopt_driver_error_feedback`).
+        """
+        self._adopt_driver_error_feedback()
+        self.error_feedback = True
+        if not self.name.startswith("ef+"):
+            self.name = f"ef+{self.name}"
+
+    def disable_error_feedback(self) -> None:
+        """Switch off *all* error feedback — driver-level and stage-internal.
+
+        The explicit no-EF arm of an error-feedback study
+        (``MethodSpec(error_feedback=False)``): even compressors that carry
+        compensation by default in their paper form (top-k) run genuinely
+        uncompensated.  Unbiased rescaling is an estimator correction, not
+        compensation: it is left on, and restored if the driver had disabled
+        it (an ``"ef+..."``-built compressor later forced off must not stay
+        both uncompensated *and* biased low by ``k/n``).
+        """
+        self._check_driver_ef_composable()
+        self.error_feedback = False
+        self._residuals.clear()
+        for stage in self.pipeline.stages:
+            if getattr(stage, "error_feedback", False):
+                stage.error_feedback = False
+                stage.reset()
+            if getattr(stage, "_rescale_disabled_by_driver", False):
+                stage.rescale = True
+                stage._rescale_disabled_by_driver = False
+        if self.name.startswith("ef+"):
+            self.name = self.name[len("ef+"):]
+
+    def residual(self, bucket_index: int) -> Optional[np.ndarray]:
+        """The current error-feedback residual of one bucket (None before use)."""
+        return self._residuals.get(bucket_index)
+
     def _pipeline_for(self, bucket: GradBucket, group: ProcessGroup, iteration: int) -> Pipeline:
         """Pipeline used for this bucket synchronisation (static by default)."""
         return self.pipeline
 
     def aggregate(self, bucket: GradBucket, group: ProcessGroup, iteration: int = 0) -> np.ndarray:
         pipeline = self._pipeline_for(bucket, group, iteration)
+        # Arena-backed buckets hand first-stage matrix consumers (batched
+        # top-k, DGC) the (world, numel) gradients without re-stacking;
+        # list-backed buckets pass None so pipelines that never read the
+        # matrix don't pay for a stack.
+        matrix = bucket.materialized_matrix
+        buffers: Sequence[np.ndarray] = bucket.buffers
+
+        residual: Optional[np.ndarray] = None
+        if self.error_feedback:
+            residual = self._residuals.get(bucket.index)
+            if residual is None or residual.shape != (bucket.world_size, bucket.numel):
+                residual = np.zeros(
+                    (bucket.world_size, bucket.numel), dtype=np.asarray(buffers[0]).dtype
+                )
+            # Compensate: encode grad + residual.  The sum is a fresh matrix —
+            # it must not alias the arena (whose rows are rewritten next step)
+            # nor the residual buffer (rewritten below from these inputs).
+            if matrix is not None:
+                matrix = matrix + residual
+            else:
+                matrix = np.stack(buffers) + residual
+            buffers = list(matrix)
+
         ctx = EncodeContext(
             world_size=bucket.world_size,
             bucket_index=bucket.index,
             iteration=iteration,
             group=group,
-            # Arena-backed buckets hand first-stage matrix consumers (batched
-            # top-k, DGC) the (world, numel) gradients without re-stacking;
-            # list-backed buckets pass None so pipelines that never read the
-            # matrix don't pay for a stack.
-            matrix=bucket.materialized_matrix,
+            matrix=matrix,
         )
-        payloads = pipeline.encode_all(bucket.buffers, ctx)
+        payloads = pipeline.encode_all(buffers, ctx)
 
         # Route on the pipeline's static property; the collective layer still
         # validates per-payload reducibility, so a stage that wrongly claims
         # compatibility fails loudly rather than silently gathering.
         reducible = pipeline.allreduce_compatible
         if reducible:
+            if residual is not None:
+                # residual_r = input_r - decode(rank r's own payload): exactly
+                # the gradient mass rank r's encoding dropped this step.
+                for rank, payload in enumerate(payloads):
+                    np.subtract(
+                        buffers[rank], pipeline.decode(payload), out=residual[rank],
+                        casting="unsafe",
+                    )
             reduced = group.all_reduce(payloads, average=True)
             result = pipeline.decode(reduced)
         else:
             gathered = group.all_gather(payloads)
             result = None
-            for payload in gathered:
+            for rank, payload in enumerate(gathered):
                 decoded = pipeline.decode(payload)
+                if residual is not None:
+                    # The gathered payloads are per-rank copies of the local
+                    # ones, so the same decode serves both the average and the
+                    # residual update.
+                    np.subtract(buffers[rank], decoded, out=residual[rank], casting="unsafe")
                 if result is None:
                     result = np.zeros(bucket.numel, dtype=decoded.dtype)
                 np.add(result, decoded, out=result)
             result /= bucket.world_size
 
+        if residual is not None:
+            self._residuals[bucket.index] = residual
         self._record(bucket, payloads, used_allgather=not reducible)
         return result
 
     def reset(self) -> None:
         super().reset()
         self.pipeline.reset()
+        self._residuals.clear()
 
     # ------------------------------------------------------------------ #
     def _record(

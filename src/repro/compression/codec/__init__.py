@@ -27,6 +27,8 @@ from repro.compression.codec.payloads import (
     FP32_BYTES,
     HalfPayload,
     INDEX_BYTES,
+    LowRankPayload,
+    SignPayload,
     SparsePayload,
     TERNARY_BYTES,
     TernaryPayload,
@@ -41,18 +43,23 @@ from repro.compression.codec.stages import (
     EncodeContext,
     Half,
     Identity,
+    LowRank,
     MaskCompact,
     RandomK,
+    Sign,
     Ternarize,
     TopK,
     batched_top_k_indices,
+    orthonormalize,
     top_k_indices,
 )
 from repro.compression.codec.pipeline import (
+    EF_TOKENS,
     Pipeline,
     as_pipeline,
     parse_codec_spec,
     parse_codec_token,
+    parse_compressor_spec,
 )
 
 __all__ = [
@@ -62,6 +69,8 @@ __all__ = [
     "SparsePayload",
     "TernaryPayload",
     "BitmaskPayload",
+    "SignPayload",
+    "LowRankPayload",
     "as_payload",
     "pack_ternary",
     "unpack_ternary",
@@ -79,10 +88,15 @@ __all__ = [
     "MaskCompact",
     "Ternarize",
     "DGCSelect",
+    "Sign",
+    "LowRank",
     "top_k_indices",
     "batched_top_k_indices",
+    "orthonormalize",
     "Pipeline",
     "as_pipeline",
     "parse_codec_spec",
     "parse_codec_token",
+    "parse_compressor_spec",
+    "EF_TOKENS",
 ]

@@ -22,7 +22,9 @@ from repro.compression.codec.stages import (
     EncodeContext,
     Half,
     Identity,
+    LowRank,
     RandomK,
+    Sign,
     Ternarize,
     TopK,
 )
@@ -146,24 +148,43 @@ _STAGE_FACTORIES: Dict[str, Callable[..., Codec]] = {
     "dgc": lambda ratio=None, seed=0: DGCSelect(ratio if ratio is not None else 0.01),
     "terngrad": lambda ratio=None, seed=0: Ternarize(seed=seed),
     "ternary": lambda ratio=None, seed=0: Ternarize(seed=seed),
+    "signsgd": lambda ratio=None, seed=0: Sign(),
+    "sign": lambda ratio=None, seed=0: Sign(),
+    "powersgd": lambda ratio=None, seed=0: LowRank(rank=int(ratio) if ratio is not None else 4, seed=seed),
 }
 
 #: Parameterised tokens: a stage name followed by a ratio (``topk0.01``,
-#: ``randomk-0.1``, ``dgc-0.01``).
+#: ``randomk-0.1``, ``dgc-0.01``) or a rank (``powersgd-rank4``, ``powersgd4``).
 _PARAM_TOKEN = re.compile(r"^(?P<stage>topk|randomk|dgc)-?(?P<ratio>\d*\.?\d+)$")
+_POWERSGD_TOKEN = re.compile(r"^powersgd(?:-rank|-)?(?P<rank>\d+)$")
+
+#: The error-feedback modifier is a property of the aggregation *driver*
+#: (:class:`repro.compression.base.CodecCompressor`), not a stage, so it is
+#: only legal as the leading token of a spec (``"ef+topk0.01"``).
+EF_TOKENS = frozenset({"ef", "error-feedback"})
 
 
 def parse_codec_token(token: str, seed: int = 0) -> Codec:
     """Parse one stage token (``"topk0.01"``, ``"fp16"``) into a stage."""
     token = token.strip().lower()
+    if token in EF_TOKENS:
+        raise KeyError(
+            f"{token!r} is the error-feedback modifier, not a codec stage; it must "
+            "lead the spec (e.g. 'ef+topk0.01') and is consumed by the compressor "
+            "driver — parse full compressor specs with parse_compressor_spec"
+        )
     factory = _STAGE_FACTORIES.get(token)
     if factory is not None:
         return factory(seed=seed)
+    match = _POWERSGD_TOKEN.match(token)
+    if match is not None:
+        return LowRank(rank=int(match.group("rank")), seed=seed)
     match = _PARAM_TOKEN.match(token)
     if match is None:
         raise KeyError(
             f"unknown codec token {token!r}; expected one of {sorted(_STAGE_FACTORIES)} "
-            "optionally suffixed with a ratio (e.g. 'topk0.01')"
+            "optionally suffixed with a ratio (e.g. 'topk0.01') or rank "
+            "(e.g. 'powersgd-rank4')"
         )
     return _STAGE_FACTORIES[match.group("stage")](float(match.group("ratio")), seed=seed)
 
@@ -172,10 +193,35 @@ def parse_codec_spec(spec: str, seed: int = 0) -> Pipeline:
     """Parse a ``+``-separated codec spec string into a :class:`Pipeline`.
 
     Examples: ``"allreduce"``, ``"fp16"``, ``"topk0.01"``, ``"dgc-0.01"``,
-    ``"topk0.01+terngrad"``, ``"randomk0.1+fp16"``.  ``seed`` reaches every
-    stochastic stage of the pipeline.
+    ``"topk0.01+terngrad"``, ``"signsgd"``, ``"powersgd-rank4"``.  ``seed``
+    reaches every stochastic stage of the pipeline.  A leading ``"ef"``
+    modifier is rejected here — it configures the aggregation driver, not a
+    stage; use :func:`parse_compressor_spec` for full compressor specs.
     """
     tokens = [token for token in spec.split("+") if token.strip()]
     if not tokens:
         raise KeyError(f"empty codec spec {spec!r}")
     return Pipeline([parse_codec_token(token, seed=seed) for token in tokens])
+
+
+def parse_compressor_spec(spec: str, seed: int = 0) -> "tuple[Pipeline, bool]":
+    """Parse a full compressor spec into ``(pipeline, error_feedback)``.
+
+    The grammar is the codec spec grammar plus an optional leading ``"ef"``
+    modifier: ``"ef+topk0.01"`` selects driver-level error feedback around the
+    ``topk0.01`` pipeline.  The pipeline is returned unmodified — the
+    :class:`~repro.compression.base.CodecCompressor` constructor adapts its
+    stages when the flag is set (stage-internal error feedback and unbiased
+    rescaling off, self-compensating stages rejected).
+    """
+    tokens = [token for token in spec.split("+") if token.strip()]
+    error_feedback = False
+    while tokens and tokens[0].strip().lower() in EF_TOKENS:
+        error_feedback = True
+        tokens.pop(0)
+    if not tokens:
+        raise KeyError(
+            f"codec spec {spec!r} has no stages"
+            + (" after the 'ef' modifier" if error_feedback else "")
+        )
+    return Pipeline([parse_codec_token(token, seed=seed) for token in tokens]), error_feedback

@@ -10,7 +10,10 @@ Beyond the fixed names, any ``+``-separated codec pipeline spec builds a
 compressor on the fly: ``build_compressor("topk0.01+terngrad")`` selects the
 top 1 % coordinates and ternarises the selected values — arbitrary codec
 composition without writing a compressor class (see
-:func:`repro.compression.codec.parse_codec_spec` for the grammar).
+:func:`repro.compression.codec.parse_codec_spec` for the grammar).  A leading
+``"ef"`` token (``"ef+topk0.01"``, ``"ef+signsgd"``) wraps the pipeline in the
+driver's per-bucket error-feedback residual state; ``"signsgd"`` and
+``"powersgd-rank4"`` name the sign/majority-vote and low-rank stage families.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ import inspect
 from typing import Callable, Dict, Optional
 
 from repro.compression.base import CodecCompressor, Compressor
-from repro.compression.codec import parse_codec_spec
+from repro.compression.codec import parse_compressor_spec
 from repro.compression.dgc import DGCCompressor
 from repro.compression.fp16 import FP16Compressor
 from repro.compression.none import NoCompression
@@ -109,7 +112,7 @@ def build_compressor(name: str, seed: Optional[int] = None, **kwargs) -> Compres
             kwargs["seed"] = seed
         return factory(**kwargs)
     try:
-        pipeline = parse_codec_spec(key, seed=0 if seed is None else seed)
+        pipeline, error_feedback = parse_compressor_spec(key, seed=0 if seed is None else seed)
     except KeyError:
         raise KeyError(
             f"unknown compressor {name!r}: not a registered name "
@@ -123,4 +126,4 @@ def build_compressor(name: str, seed: Optional[int] = None, **kwargs) -> Compres
             f"({sorted(kwargs)}); encode parameters in the spec itself "
             "(e.g. 'topk0.05') or register a factory under a name"
         )
-    return CodecCompressor(pipeline, name=key)
+    return CodecCompressor(pipeline, name=key, error_feedback=error_feedback)

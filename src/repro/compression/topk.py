@@ -7,18 +7,19 @@ summed element-wise — the codec driver falls back to an all-gather of
 which is exactly the incompatibility with all-reduce that the paper's Table 1
 flags and that causes TopK-0.1 to congest the bottleneck link in Fig. 3.
 
-Optionally keeps an error-feedback residual per bucket (the unsent coordinates
-are added back into the next iteration's gradient), which is the standard trick
-for making aggressive sparsification converge.  The selection itself runs as
-one batched ``argpartition`` over the stacked (world, numel) gradient matrix
-(see :func:`repro.compression.codec.stages.batched_top_k_indices`).
+By default the compressor keeps an error-feedback residual per bucket (the
+unsent coordinates are added back into the next iteration's gradient), the
+standard trick for making aggressive sparsification converge.  Since the
+driver-level error-feedback refactor this is the shared
+:class:`~repro.compression.base.CodecCompressor` residual state — for top-k
+selection, ``input - decode(own payload)`` zeroes exactly the transmitted
+coordinates, so the driver residual is bit-identical to the historical
+stage-internal one (the golden traces pin this).  The selection itself runs
+as one batched ``argpartition`` over the stacked (world, numel) gradient
+matrix (see :func:`repro.compression.codec.stages.batched_top_k_indices`).
 """
 
 from __future__ import annotations
-
-from typing import Dict
-
-import numpy as np
 
 from repro.compression.base import CodecCompressor
 from repro.compression.codec import Pipeline, TopK
@@ -31,18 +32,15 @@ class TopKCompressor(CodecCompressor):
     """Per-rank top-k sparsification with all-gather aggregation."""
 
     def __init__(self, ratio: float = 0.1, error_feedback: bool = True) -> None:
-        self._stage = TopK(ratio=ratio, error_feedback=error_feedback)
-        super().__init__(Pipeline([self._stage]), name=f"topk-{ratio:g}")
+        # Stage-internal error feedback stays off: the driver owns the
+        # residual state (one mechanism, not two).
+        self._stage = TopK(ratio=ratio, error_feedback=False)
+        super().__init__(
+            Pipeline([self._stage]),
+            name=f"topk-{ratio:g}",
+            error_feedback=error_feedback,
+        )
 
     @property
     def ratio(self) -> float:
         return self._stage.ratio
-
-    @property
-    def error_feedback(self) -> bool:
-        return self._stage.error_feedback
-
-    @property
-    def _residuals(self) -> Dict[int, np.ndarray]:
-        """Unsent gradient mass per bucket (one (world, numel) matrix each)."""
-        return self._stage._residuals

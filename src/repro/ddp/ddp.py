@@ -13,7 +13,11 @@ of ``world_size`` replicas on a single process:
 3. the registered communication hook aggregates each bucket through the
    process group, which records modeled time and bytes; the events each
    bucket's hook issued are drained from the group's log per step (the group
-   keeps lifetime aggregates), so the log cannot grow with run length;
+   keeps lifetime aggregates), so the log cannot grow with run length.
+   Stateful compressors (error-feedback residuals, DGC momentum, PacTrain
+   masks) own their per-bucket buffers — never views into the arena, whose
+   rows are rewritten by every staging pass — so their state survives arena
+   staging and bucket reuse across iterations;
 4. the aggregated gradients are unpacked back into ``param.grad`` as views of
    the reduced buffer (no copies on the float64 or float32 path) so a single
    optimiser step updates the shared weights.

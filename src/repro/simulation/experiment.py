@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.compression.base import Compressor
+from repro.compression.base import CodecCompressor, Compressor
 from repro.compression.registry import build_compressor
 from repro.data import DataLoader, DistributedSampler, make_dataset, train_test_split
 from repro.ddp import DistributedDataParallel
@@ -41,11 +41,17 @@ class MethodSpec:
     """One gradient-synchronisation method, as named in the paper's figures.
 
     ``compressor`` is a registry name (see :mod:`repro.compression.registry`)
-    or a ``+``-separated codec pipeline spec such as ``"topk0.01+terngrad"``
-    or ``"randomk0.1+fp16"`` — arbitrary codec compositions run end-to-end
-    without a dedicated compressor class.  Pruning-related fields only take
-    effect for methods that prune (PacTrain); the baselines keep the dense
-    model.
+    or a ``+``-separated codec pipeline spec such as ``"topk0.01+terngrad"``,
+    ``"ef+signsgd"`` or ``"powersgd-rank4"`` — arbitrary codec compositions
+    run end-to-end without a dedicated compressor class.  ``error_feedback``
+    is tri-state: ``None`` (default) keeps whatever the compressor spec says,
+    ``True`` switches on the driver-level per-bucket residual state
+    (equivalent to, and composing idempotently with, a leading ``"ef"`` spec
+    token) and ``False`` forces every form of error feedback off — including
+    the stage-internal compensation top-k carries in its paper form — which
+    makes ``error_feedback`` a uniform on/off campaign axis.  Pruning-related
+    fields only take effect for methods that prune (PacTrain); the baselines
+    keep the dense model.
     """
 
     name: str
@@ -57,12 +63,25 @@ class MethodSpec:
     stability_threshold: int = 3
     min_sparsity: float = 0.05
     warmup_iterations: int = 0
+    #: Driver-level error feedback: the compressor keeps a per-(bucket, rank)
+    #: residual of the gradient mass its encoding dropped and adds it to the
+    #: next iteration's input.  ``None`` defers to the compressor spec;
+    #: ``True``/``False`` force it on/off (codec-pipeline compressors only).
+    error_feedback: Optional[bool] = None
 
     def build_compressor(self, seed: int = 0) -> Compressor:
         if self.compressor.startswith("pactrain"):
             # Imported lazily: repro.pactrain.trainer itself builds on this module.
             from repro.pactrain.compressor import PacTrainCompressor  # noqa: PLC0415
 
+            if self.error_feedback is not None:
+                raise ValueError(
+                    f"error_feedback={self.error_feedback} is not supported for "
+                    "PacTrain methods: its compacted aggregation is already "
+                    "lossless w.r.t. the masked gradient, so there is no dropped "
+                    "mass to feed back (and nothing to strip); leave the field "
+                    "at None"
+                )
             return PacTrainCompressor(
                 stability_threshold=self.stability_threshold,
                 min_sparsity=self.min_sparsity,
@@ -73,7 +92,20 @@ class MethodSpec:
         # Registry names and codec pipeline specs receive the same per-run
         # seed, so stochastic codecs (random-k selection, ternary rounding)
         # actually vary across multi-seed sweeps.
-        return build_compressor(self.compressor, seed=seed)
+        compressor = build_compressor(self.compressor, seed=seed)
+        if self.error_feedback is None:
+            return compressor
+        if not isinstance(compressor, CodecCompressor):
+            raise TypeError(
+                f"error_feedback={self.error_feedback} needs a codec-pipeline "
+                f"compressor, got {type(compressor).__name__} for {self.compressor!r}"
+            )
+        if self.error_feedback:
+            if not compressor.error_feedback:
+                compressor.enable_error_feedback()
+        else:
+            compressor.disable_error_feedback()
+        return compressor
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict:

@@ -245,6 +245,50 @@ class TestCampaignSpec:
         with pytest.raises(KeyError, match="unknown campaign axis"):
             CampaignSpec(axes={"modle": ["mlp"]}).expand()
 
+    def test_error_feedback_is_a_method_field_axis(self):
+        spec = CampaignSpec(
+            axes={
+                "method": ["signsgd", "powersgd-rank4"],
+                "error_feedback": [False, True],
+            }
+        )
+        cells = spec.expand()
+        # Both arms are labelled: forced-off gets -noef (it strips even
+        # spec-default compensation), forced-on gets the ef+ prefix.
+        assert [c.method.name for c in cells] == [
+            "signsgd-noef", "ef+signsgd", "powersgd-rank4-noef", "ef+powersgd-rank4",
+        ]
+        assert [c.method.error_feedback for c in cells] == [False, True, False, True]
+        # EF and non-EF cells are distinct cache entries.
+        assert len({c.fingerprint() for c in cells}) == 4
+
+    def test_method_field_axis_overrides_resolved_method(self):
+        cell = build_cell({"method": "pactrain", "pruning_ratio": 0.7})
+        assert cell.method.pruning_ratio == 0.7
+        assert cell.method.compressor == "pactrain"
+        # Name is preserved for non-EF field overrides.
+        assert cell.method.name == "pactrain"
+
+    def test_compressor_axis_renames_non_curated_methods(self):
+        # Cells must report what actually ran: a compressor override renames
+        # string-resolved methods (including the default all-reduce) ...
+        cell = build_cell({"compressor": "signsgd"})
+        assert cell.method.compressor == "signsgd"
+        assert cell.method.name == "signsgd"
+        swapped = build_cell({"method": "topk-0.1", "compressor": "topk-0.01"})
+        assert swapped.method.name == "topk-0.01"
+        # ... while explicitly curated methods keep their given name.
+        table = {"mine": MethodSpec(name="mine", compressor="fp16")}
+        curated = build_cell(
+            {"method": "mine", "compressor": "allreduce"}, methods=table
+        )
+        assert curated.method.name == "mine"
+        assert curated.method.compressor == "allreduce"
+
+    def test_ef_axis_does_not_double_prefix_ef_specs(self):
+        cell = build_cell({"method": "ef+signsgd", "error_feedback": True})
+        assert cell.method.name == "ef+signsgd"
+
     def test_cluster_axes_route_to_cluster_spec(self):
         cell = build_cell({"world_size": 4, "overlap": True, "straggler": 2.0,
                            "hierarchical": True, "model": "mlp"})
@@ -351,6 +395,28 @@ class TestResultStore:
         store.put(config, method, fake_result())
         monkeypatch.setattr(store_module, "RESULT_SCHEMA_VERSION", 999)
         assert store.get(config, method) is None
+
+    def test_pr3_era_schema1_records_are_invalidated_not_reused(self, tmp_path, monkeypatch):
+        """Records persisted under schema 1 (before MethodSpec.error_feedback)
+        must be cache misses under the bumped schema, not silently served."""
+        path = tmp_path / "store.jsonl"
+        config, method = tiny_config(), PAPER_METHODS["all-reduce"]
+        monkeypatch.setattr(store_module, "RESULT_SCHEMA_VERSION", 1)
+        ResultStore(path).put(config, method, fake_result())
+        monkeypatch.undo()
+        assert store_module.RESULT_SCHEMA_VERSION >= 2
+        reopened = ResultStore(path)
+        assert len(reopened) == 1  # still on disk (append-only history) ...
+        assert reopened.get(config, method) is None  # ... but never hit
+        # Re-running the cell persists a fresh, reachable record.
+        reopened.put(config, method, fake_result())
+        assert reopened.get(config, method) == fake_result()
+
+    def test_error_feedback_field_changes_the_fingerprint(self):
+        config = tiny_config()
+        base = MethodSpec(name="s", compressor="signsgd")
+        with_ef = MethodSpec(name="s", compressor="signsgd", error_feedback=True)
+        assert cell_fingerprint(config, base) != cell_fingerprint(config, with_ef)
 
     def test_latest_record_wins(self, tmp_path):
         path = tmp_path / "store.jsonl"

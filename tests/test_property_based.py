@@ -18,15 +18,20 @@ from repro.compression.codec import (
     Half,
     INDEX_BYTES,
     Identity,
+    LowRank,
+    LowRankPayload,
     MaskCompact,
     Pipeline,
     RandomK,
+    Sign,
+    SignPayload,
     SparsePayload,
     TERNARY_BYTES,
     Ternarize,
     TernaryPayload,
     TopK,
     batched_top_k_indices,
+    orthonormalize,
     pack_ternary,
     unpack_ternary,
 )
@@ -286,6 +291,189 @@ class TestCodecRoundTripProperties:
         reduced, event = all_reduce([DensePayload(b) for b in buffers], average=True)
         np.testing.assert_array_equal(reduced.reduce_values(), exact_average(buffers))
         assert event.metadata["payload"] == "DensePayload"
+
+
+class TestSignPayloadProperties:
+    """signSGD wire format: one bit per coordinate, bounded decode error."""
+
+    @given(arrays(shape=st.tuples(st.integers(1, 300))))
+    @settings(max_examples=50, deadline=None)
+    def test_nbytes_is_exactly_ceil_bits_plus_scale(self, values):
+        payload = SignPayload.from_values(values)
+        assert payload.nbytes == -(-values.size // 8) + FP32_BYTES
+        assert payload.transmitted_elements == values.size
+
+    @given(arrays(shape=st.tuples(st.integers(1, 300))))
+    @settings(max_examples=50, deadline=None)
+    def test_decode_is_scaled_sign(self, values):
+        pipeline = Pipeline([Sign()])
+        decoded = pipeline.decode(pipeline.encode(values))
+        scale = np.mean(np.abs(values))
+        assert np.all(decoded[values > 0] == scale)
+        assert np.all(decoded[values < 0] == -scale)
+        assert np.all(np.abs(decoded) == scale)
+
+    @given(arrays(shape=st.tuples(st.integers(1, 300))))
+    @settings(max_examples=50, deadline=None)
+    def test_nmse_bounded_by_one(self, values):
+        """With scale = mean|v|, NMSE = 1 - n*mean(|v|)^2 / sum(v^2) <= 1."""
+        power = float(np.sum(values.astype(np.float64) ** 2))
+        if power == 0.0:
+            return
+        pipeline = Pipeline([Sign()])
+        decoded = pipeline.decode(pipeline.encode(values))
+        assert nmse(values, decoded) <= 1.0 + 1e-9
+
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=64),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_majority_vote_aggregate_is_sign_of_summed_codes(self, world, numel, seed):
+        rng = np.random.default_rng(seed)
+        buffers = [rng.standard_normal(numel) for _ in range(world)]
+        payloads = [SignPayload.from_values(b) for b in buffers]
+        reduced, _ = all_reduce(payloads, average=True)
+        codes = np.stack([p.codes() for p in payloads])
+        expected = np.mean([p.scale for p in payloads]) * np.sign(codes.sum(axis=0))
+        np.testing.assert_allclose(reduced.values, expected, rtol=1e-12, atol=1e-15)
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_dtype_matrix_decode_follows_compute_dtype(self, dtype):
+        from repro.tensorlib.dtypes import default_dtype
+
+        with default_dtype(dtype):
+            rng = np.random.default_rng(0)
+            values = rng.standard_normal(97).astype(dtype)
+            pipeline = Pipeline([Sign()])
+            payload = pipeline.encode(values)
+            decoded = pipeline.decode(payload)
+            assert decoded.dtype == np.dtype(dtype)
+            # Wire cost models the packed-bit + fp32-scale format either way.
+            assert payload.nbytes == -(-values.size // 8) + FP32_BYTES
+
+
+class TestLowRankPayloadProperties:
+    """PowerSGD wire format: (m+n)*rank*4 bytes, projection-bounded error."""
+
+    @given(st.integers(min_value=1, max_value=4000), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_nbytes_is_exactly_m_plus_n_times_rank(self, numel, rank):
+        m, n = LowRank.matrix_shape(numel)
+        assert m * n >= numel and (m - 1) * n < numel
+        effective = min(rank, m, n)
+        pipeline = Pipeline([LowRank(rank=rank)])
+        payload = pipeline.encode(np.ones(numel))
+        assert isinstance(payload, LowRankPayload)
+        assert payload.nbytes == (m + n) * effective * FP32_BYTES
+        assert payload.transmitted_elements == (m + n) * effective
+
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=1, max_value=3),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exactly_low_rank_inputs_reconstruct_exactly(self, side, true_rank, seed):
+        """One warm-started power-iteration step recovers rank <= r matrices."""
+        rng = np.random.default_rng(seed)
+        true_rank = min(true_rank, side)
+        left = rng.standard_normal((side, true_rank))
+        right = rng.standard_normal((side, true_rank))
+        flat = (left @ right.T).reshape(-1)
+        pipeline = Pipeline([LowRank(rank=4)])
+        decoded = pipeline.decode(pipeline.encode(flat))
+        scale = float(np.max(np.abs(flat))) or 1.0
+        np.testing.assert_allclose(decoded, flat, atol=1e-8 * scale)
+
+    @given(arrays(shape=st.tuples(st.integers(4, 400))), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_decode_error_bounded_by_projection(self, values, rank):
+        """Reconstruction is an orthogonal projection: NMSE <= 1."""
+        power = float(np.sum(values.astype(np.float64) ** 2))
+        if power == 0.0:
+            return
+        pipeline = Pipeline([LowRank(rank=rank)])
+        decoded = pipeline.decode(pipeline.encode(values))
+        assert nmse(values, decoded) <= 1.0 + 1e-9
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_warm_start_never_degrades_on_a_fixed_matrix(self, seed):
+        rng = np.random.default_rng(seed)
+        flat = rng.standard_normal(256)
+        pipeline = Pipeline([LowRank(rank=2)])
+        errors = []
+        for _ in range(4):
+            decoded = pipeline.decode(pipeline.encode(flat))
+            errors.append(nmse(flat, decoded))
+        assert errors[-1] <= errors[0] + 1e-9
+
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=1, max_value=5),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_orthonormalize_produces_orthonormal_or_zero_columns(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        basis = orthonormalize(rng.standard_normal((rows, cols)))
+        gram = basis.T @ basis
+        norms = np.diag(gram)
+        assert np.all((np.abs(norms - 1.0) < 1e-9) | (norms < 1e-18))
+        off_diagonal = gram - np.diag(norms)
+        assert np.max(np.abs(off_diagonal)) < 1e-9
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_dtype_matrix_decode_follows_compute_dtype(self, dtype):
+        from repro.tensorlib.dtypes import default_dtype
+
+        with default_dtype(dtype):
+            rng = np.random.default_rng(1)
+            values = rng.standard_normal(200).astype(dtype)
+            pipeline = Pipeline([LowRank(rank=3)])
+            payload = pipeline.encode(values)
+            decoded = pipeline.decode(payload)
+            assert decoded.dtype == np.dtype(dtype)
+            m, n = LowRank.matrix_shape(values.size)
+            assert payload.nbytes == (m + n) * 3 * FP32_BYTES
+
+
+class TestErrorFeedbackInvariantProperties:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=8, max_value=128),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mean_residual_plus_aggregate_equals_mean_input(self, world, numel, seed):
+        """residual + decoded == input, aggregated over ranks."""
+        from repro.compression import build_compressor, exact_average
+        from repro.ddp.bucket import Bucket, BucketSlice, GradBucket
+
+        rng = np.random.default_rng(seed)
+        compressor = build_compressor("ef+powersgd-rank2")
+        layout = Bucket(index=0, slices=[BucketSlice("w", 0, numel, (numel,))])
+        group = ProcessGroup(world)
+        for iteration in range(2):
+            buffers = [rng.standard_normal(numel) for _ in range(world)]
+            compensated = [
+                b + r for b, r in zip(
+                    buffers,
+                    compressor.residual(0) if compressor.residual(0) is not None
+                    else np.zeros((world, numel)),
+                )
+            ]
+            aggregated = compressor.aggregate(
+                GradBucket(layout, buffers), group, iteration=iteration
+            )
+            residual = compressor.residual(0)
+            np.testing.assert_allclose(
+                exact_average(compensated),
+                aggregated + residual.mean(axis=0),
+                atol=1e-9,
+            )
 
 
 class TestMaskTrackerProperties:
