@@ -76,6 +76,30 @@ class GradientArena:
                 # flatten buffer is allocated.
                 np.copyto(target, grad.reshape(-1), casting="unsafe")
 
+    def write_world(self, grads_by_name: Dict[str, np.ndarray]) -> None:
+        """Stage every rank at once from ``(world_size, *shape)`` gradient stacks.
+
+        The world-batched execution path produces one stacked array per
+        parameter (the replica views' ``.grad``); each lands in its bucket
+        slice with a single vectorised copy instead of one copy per
+        ``(rank, parameter)`` pair.  Missing parameters zero their slices in
+        every row, preserving the write-everything aliasing contract.
+        """
+        world = self.world_size
+        for bucket, matrix in zip(self._buckets, self._matrices):
+            for piece in bucket.slices:
+                grad = grads_by_name.get(piece.param_name)
+                target = matrix[:, piece.offset : piece.end]
+                if grad is None:
+                    target[:] = 0.0
+                    continue
+                if grad.shape[0] != world or grad.size != world * piece.numel:
+                    raise ValueError(
+                        f"stacked gradient for {piece.param_name!r} has shape {grad.shape}, "
+                        f"expected ({world}, ...) with {piece.numel} elements per rank"
+                    )
+                np.copyto(target, grad.reshape(world, -1), casting="unsafe")
+
     def write_all(self, per_rank_grads: Sequence[Dict[str, np.ndarray]]) -> None:
         """Stage every rank's gradient dict (one dict per rank)."""
         if len(per_rank_grads) != self.world_size:

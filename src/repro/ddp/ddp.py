@@ -39,6 +39,7 @@ from repro.comm.process_group import ProcessGroup
 from repro.ddp.arena import GradientArena
 from repro.ddp.bucket import Bucket, GradBucket, build_buckets, DEFAULT_BUCKET_CAP_BYTES
 from repro.ddp.hooks import CommHook, HookState, make_hook
+from repro.nn.batched import replica_views
 from repro.nn.module import Module
 from repro.tensorlib import Tensor
 from repro.tensorlib.dtypes import get_default_dtype
@@ -142,28 +143,87 @@ class DistributedDataParallel:
         }
         return float(loss.item()), grads
 
+    def compute_batched_gradients(
+        self,
+        batch: Tuple[np.ndarray, np.ndarray],
+        loss_fn: Callable[[Tensor, np.ndarray], Tensor],
+    ) -> Tuple[List[float], Dict[str, np.ndarray]]:
+        """Run every rank's forward/backward as one world-batched pass.
+
+        ``batch`` is the stacked ``(world_size, N, ...)`` images and
+        ``(world_size, N)`` labels.  Parameters are temporarily swapped for
+        zero-copy ``(world, *shape)`` broadcast views (see
+        :mod:`repro.nn.batched`); the loss function returns a per-world loss
+        vector whose backward is seeded with unit gradients — one per rank,
+        exactly like the per-rank loop's scalar backward seeds.  Returns the
+        per-rank losses and ``{name: (world, *shape)}`` gradient stacks, whose
+        float64 values are bit-identical per rank to
+        :meth:`compute_local_gradients` run rank by rank.
+        """
+        images, labels = batch
+        if images.shape[0] != self.world_size:
+            raise ValueError(
+                f"batched images lead with {images.shape[0]} ranks, expected {self.world_size}"
+            )
+        self.model.zero_grad()
+        with replica_views(self.model, self.world_size) as views:
+            logits = self.model(Tensor(images))
+            loss = loss_fn(logits, labels)
+            loss.backward(np.ones(self.world_size, dtype=loss.data.dtype))
+            grads = {
+                name: view.grad for name, view in views.items() if view.grad is not None
+            }
+        losses = [float(value) for value in np.asarray(loss.data).reshape(-1)]
+        return losses, grads
+
+    @staticmethod
+    def _stackable(per_rank_batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> bool:
+        """Whether every rank's batch has identical shapes (batchable)."""
+        first_images, first_labels = per_rank_batches[0]
+        return all(
+            images.shape == first_images.shape and np.shape(labels) == np.shape(first_labels)
+            for images, labels in per_rank_batches
+        )
+
     def train_step(
         self,
         per_rank_batches: Sequence[Tuple[np.ndarray, np.ndarray]],
         loss_fn: Callable[[Tensor, np.ndarray], Tensor],
+        execution: str = "batched",
     ) -> StepResult:
         """One synchronous iteration: local backward on every rank, then sync.
 
         ``per_rank_batches`` must contain exactly ``world_size`` batches (one
         per rank, typically produced by a :class:`repro.data.DistributedSampler`).
+
+        ``execution`` selects how the per-rank passes run: ``"batched"`` (the
+        default) evaluates all ranks in one world-batched forward/backward,
+        ``"looped"`` keeps the historical per-rank Python loop.  Float64
+        results are bit-identical either way; ragged per-rank batch shapes
+        fall back to the loop automatically.  Modeled time is unaffected —
+        the simulation clock measures the *simulated* cluster, not host
+        execution strategy.
         """
         if len(per_rank_batches) != self.world_size:
             raise ValueError(
                 f"expected {self.world_size} per-rank batches, got {len(per_rank_batches)}"
             )
+        if execution not in ("batched", "looped"):
+            raise ValueError(f"unknown execution strategy {execution!r}")
 
-        per_rank_losses: List[float] = []
-        for rank, batch in enumerate(per_rank_batches):
-            # copy=False: gradients go straight from param.grad into the arena
-            # row, skipping one full-model copy per rank per step.
-            loss_value, grads = self.compute_local_gradients(batch, loss_fn, copy=False)
-            self.arena.write_rank(rank, grads)
-            per_rank_losses.append(loss_value)
+        if execution == "batched" and self._stackable(per_rank_batches):
+            images = np.stack([batch[0] for batch in per_rank_batches])
+            labels = np.stack([np.asarray(batch[1]) for batch in per_rank_batches])
+            per_rank_losses, grads = self.compute_batched_gradients((images, labels), loss_fn)
+            self.arena.write_world(grads)
+        else:
+            per_rank_losses = []
+            for rank, batch in enumerate(per_rank_batches):
+                # copy=False: gradients go straight from param.grad into the
+                # arena row, skipping one full-model copy per rank per step.
+                loss_value, grads = self.compute_local_gradients(batch, loss_fn, copy=False)
+                self.arena.write_rank(rank, grads)
+                per_rank_losses.append(loss_value)
 
         aggregated, bucket_events = self.synchronize_staged()
         self._write_back(aggregated)
@@ -190,6 +250,10 @@ class DistributedDataParallel:
     def stage_rank_gradients(self, rank: int, grads_by_name: Dict[str, np.ndarray]) -> None:
         """Write one rank's named gradients into its arena rows."""
         self.arena.write_rank(rank, grads_by_name)
+
+    def stage_world_gradients(self, grads_by_name: Dict[str, np.ndarray]) -> None:
+        """Write ``(world, *shape)`` stacked gradients into all arena rows at once."""
+        self.arena.write_world(grads_by_name)
 
     def synchronize_gradients(
         self,

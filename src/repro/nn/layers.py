@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn.batched import active_world
 from repro.nn.module import Module, Parameter
 from repro.tensorlib import Tensor, functional as F, init
 
@@ -41,9 +42,28 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x.matmul(self.weight.swapaxes(-1, -2) if self.weight.ndim > 2 else _transpose2d(self.weight))
+        if self.weight.ndim > 2:
+            # World-batched replica view (world, out, in): keep the world axis
+            # a matmul *batch* axis (per-slice GEMMs stay bit-identical to the
+            # per-rank loop) and align it with x's leading axis by inserting
+            # singleton batch axes for higher-rank inputs (e.g. ViT tokens).
+            wT = self.weight.swapaxes(-1, -2)  # (world, in, out)
+            if x.ndim > 3:
+                wT = wT.reshape(
+                    (wT.shape[0],) + (1,) * (x.ndim - 3) + wT.shape[1:]
+                )
+            out = x.matmul(wT)
+        else:
+            out = x.matmul(_transpose2d(self.weight))
         if self.bias is not None:
-            out = out + self.bias
+            bias = self.bias
+            if bias.ndim > 1:
+                # (world, out) view -> (world, 1, ..., 1, out) so the world
+                # axes line up instead of colliding with the sample axis.
+                bias = bias.reshape(
+                    (bias.shape[0],) + (1,) * (out.ndim - 2) + (bias.shape[-1],)
+                )
+            out = out + bias
         return out
 
 
@@ -98,38 +118,59 @@ class BatchNorm2d(Module):
         self.register_buffer("running_mean", init.zeros((num_features,)))
         self.register_buffer("running_var", init.ones((num_features,)))
 
+    def _update_running_stats(self, batch_mean: np.ndarray, batch_var: np.ndarray) -> None:
+        # World-batched (world, C) statistics are folded into the running
+        # buffers sequentially in rank order: the buffers are *shared* across
+        # replicas, and the per-rank loop updates them one rank at a time, so
+        # the sequential fold reproduces its result bit-exactly.
+        if batch_mean.ndim == 2:
+            new_mean, new_var = self.running_mean, self.running_var
+            for w in range(batch_mean.shape[0]):
+                new_mean = (1 - self.momentum) * new_mean + self.momentum * batch_mean[w]
+                new_var = (1 - self.momentum) * new_var + self.momentum * batch_var[w]
+        else:
+            new_mean = (1 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            new_var = (1 - self.momentum) * self.running_var + self.momentum * batch_var
+        self.update_buffer("running_mean", new_mean)
+        self.update_buffer("running_var", new_var)
+
     def forward(self, x: Tensor) -> Tensor:
+        # A >1-D weight is a world-batched replica view (world, C): statistics
+        # then reduce per world slice over the (N, H, W) axes.
+        batched = self.weight.ndim > 1
+        if batched:
+            axes = (1, 3, 4)
+            param_shape = (self.weight.shape[0], 1, self.num_features, 1, 1)
+        else:
+            axes = (0, 2, 3)
+            param_shape = (1, self.num_features, 1, 1)
         if self.training and x.dtype == np.float32:
             # Float32 fast path: one fused graph node with the analytic
             # batch-norm backward.  The float64 path below keeps the composite
             # formulation so its results stay bit-identical to the historical
             # behaviour.
-            batch_mean = x.data.mean(axis=(0, 2, 3))
-            centered = x.data - batch_mean.reshape(1, -1, 1, 1)
-            batch_var = np.mean(centered * centered, axis=(0, 2, 3))
-            self.update_buffer(
-                "running_mean", (1 - self.momentum) * self.running_mean + self.momentum * batch_mean
-            )
-            self.update_buffer(
-                "running_var", (1 - self.momentum) * self.running_var + self.momentum * batch_var
-            )
+            batch_mean = x.data.mean(axis=axes)
+            centered = x.data - batch_mean.reshape(param_shape)
+            batch_var = np.mean(centered * centered, axis=axes)
+            self._update_running_stats(batch_mean, batch_var)
             return F.fused_norm(
-                x, self.weight, self.bias, axes=(0, 2, 3), eps=self.eps,
-                param_shape=(1, self.num_features, 1, 1),
+                x, self.weight, self.bias, axes=axes, eps=self.eps,
+                param_shape=param_shape,
             )
         if self.training:
-            mean = x.mean(axis=(0, 2, 3), keepdims=True)
-            var = x.var(axis=(0, 2, 3), keepdims=True)
-            new_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean.data.reshape(-1)
-            new_var = (1 - self.momentum) * self.running_var + self.momentum * var.data.reshape(-1)
-            self.update_buffer("running_mean", new_mean)
-            self.update_buffer("running_var", new_var)
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            stat_shape = (-1,) if not batched else (self.weight.shape[0], -1)
+            self._update_running_stats(
+                mean.data.reshape(stat_shape), var.data.reshape(stat_shape)
+            )
         else:
-            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
-            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+            shape = (1,) * (x.ndim - 3) + (-1, 1, 1)
+            mean = Tensor(self.running_mean.reshape(shape))
+            var = Tensor(self.running_var.reshape(shape))
         normalised = (x - mean) / (var + self.eps).sqrt()
-        scale = self.weight.reshape(1, -1, 1, 1)
-        shift = self.bias.reshape(1, -1, 1, 1)
+        scale = self.weight.reshape(param_shape)
+        shift = self.bias.reshape(param_shape)
         return normalised * scale + shift
 
 
@@ -144,15 +185,27 @@ class LayerNorm(Module):
         self.bias = Parameter(init.zeros((normalized_shape,)))
 
     def forward(self, x: Tensor) -> Tensor:
+        # A >1-D weight is a world-batched replica view (world, D); reshape it
+        # to (world, 1, ..., 1, D) so the world axes align instead of
+        # broadcasting against a sample axis.
+        batched = self.weight.ndim > 1
+        if batched:
+            param_shape = (
+                (self.weight.shape[0],) + (1,) * (x.ndim - 2) + (self.normalized_shape,)
+            )
+        else:
+            param_shape = self.weight.shape
         if x.dtype == np.float32:
             # Same fused fast path as BatchNorm2d (float64 stays composite).
             return F.fused_norm(
                 x, self.weight, self.bias, axes=(x.ndim - 1,), eps=self.eps,
-                param_shape=self.weight.shape,
+                param_shape=param_shape,
             )
         mean = x.mean(axis=-1, keepdims=True)
         var = x.var(axis=-1, keepdims=True)
         normalised = (x - mean) / (var + self.eps).sqrt()
+        if batched:
+            return normalised * self.weight.reshape(param_shape) + self.bias.reshape(param_shape)
         return normalised * self.weight + self.bias
 
 
@@ -183,10 +236,16 @@ class Dropout(Module):
 
 
 class Flatten(Module):
-    """Flatten all dimensions after the batch dimension."""
+    """Flatten all dimensions after the batch dimension.
+
+    Under world-batched execution (see :func:`repro.nn.batched.active_world`)
+    the leading world axis is bookkeeping, not data, so flattening starts one
+    axis later.
+    """
 
     def forward(self, x: Tensor) -> Tensor:
-        return x.flatten(start_dim=1)
+        start = 2 if active_world() is not None else 1
+        return x.flatten(start_dim=start)
 
 
 class MaxPool2d(Module):
@@ -244,15 +303,28 @@ class MultiHeadAttention(Module):
         self.proj = Linear(embed_dim, embed_dim, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
+        # Python-float scale: keeps float32 activations from being promoted
+        # to float64 by a numpy scalar under NEP 50.
+        scale = 1.0 / float(np.sqrt(self.head_dim))
+        if x.ndim == 4:
+            # World-batched tokens (world, B, T, D): same per-slice attention
+            # GEMMs with the world axis carried as an extra batch axis.
+            world, batch, tokens, dim = x.shape
+            qkv = self.qkv(x)  # (W, B, T, 3D)
+            qkv = qkv.reshape(world, batch, tokens, 3, self.num_heads, self.head_dim)
+            qkv = qkv.transpose(3, 0, 1, 4, 2, 5)  # (3, W, B, H, T, hd)
+            q, k, v = qkv[0], qkv[1], qkv[2]
+            attn = q.matmul(k.swapaxes(-1, -2)) * scale  # (W, B, H, T, T)
+            attn = attn.softmax(axis=-1)
+            context = attn.matmul(v)  # (W, B, H, T, hd)
+            context = context.transpose(0, 1, 3, 2, 4).reshape(world, batch, tokens, dim)
+            return self.proj(context)
         batch, tokens, dim = x.shape
         qkv = self.qkv(x)  # (B, T, 3D)
         qkv = qkv.reshape(batch, tokens, 3, self.num_heads, self.head_dim)
         qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, hd)
         q, k, v = qkv[0], qkv[1], qkv[2]
 
-        # Python-float scale: keeps float32 activations from being promoted
-        # to float64 by a numpy scalar under NEP 50.
-        scale = 1.0 / float(np.sqrt(self.head_dim))
         attn = q.matmul(k.swapaxes(-1, -2)) * scale  # (B, H, T, T)
         attn = attn.softmax(axis=-1)
         context = attn.matmul(v)  # (B, H, T, hd)

@@ -9,7 +9,12 @@ from repro.tensorlib import Tensor, functional as F
 
 
 class CrossEntropyLoss(Module):
-    """Mean cross-entropy between raw logits and integer class labels."""
+    """Mean cross-entropy between raw logits and integer class labels.
+
+    World-batched ``(world, N, C)`` logits return the per-world loss vector
+    ``(world,)`` instead of a scalar — see
+    :func:`repro.tensorlib.functional.cross_entropy`.
+    """
 
     def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
         return F.cross_entropy(logits, targets)

@@ -89,14 +89,21 @@ class VisionTransformer(Module):
         self.depth = depth
 
     def _patchify(self, x: Tensor) -> Tensor:
-        """Rearrange ``(N, C, H, W)`` into ``(N, num_patches, C*p*p)``."""
-        n, c, h, w = x.shape
+        """Rearrange ``(..., C, H, W)`` into ``(..., num_patches, C*p*p)``.
+
+        Extra leading axes (the world axis of batched-rank execution) pass
+        through untouched; each image is patchified exactly as in the 4-D case.
+        """
+        *lead, c, h, w = x.shape
         p = self.patch_size
-        x = x.reshape(n, c, h // p, p, w // p, p)
-        x = x.transpose(0, 2, 4, 1, 3, 5)  # (N, H/p, W/p, C, p, p)
-        return x.reshape(n, (h // p) * (w // p), c * p * p)
+        x = x.reshape(*lead, c, h // p, p, w // p, p)
+        nl = len(lead)
+        x = x.transpose(*range(nl), nl + 1, nl + 3, nl, nl + 2, nl + 4)
+        return x.reshape(*lead, (h // p) * (w // p), c * p * p)
 
     def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 5:
+            return self._forward_batched(x)
         n = x.shape[0]
         patches = self._patchify(x)
         tokens = self.patch_embed(patches)  # (N, P, D)
@@ -112,6 +119,28 @@ class VisionTransformer(Module):
             tokens = block(tokens)
         tokens = self.norm(tokens)
         cls_out = tokens[:, 0, :]
+        return self.head(cls_out)
+
+    def _forward_batched(self, x: Tensor) -> Tensor:
+        # World-batched (world, N, C, H, W) input with replica-view parameters
+        # (world, 1, 1, D) / (world, 1, P+1, D): the same graph per world
+        # slice — including the cls-token concat accumulation order — so
+        # float64 per-rank gradients match the looped path bit-for-bit.
+        world, n = x.shape[0], x.shape[1]
+        patches = self._patchify(x)
+        tokens = self.patch_embed(patches)  # (W, N, P, D)
+
+        cls = self.cls_token
+        cls_batch = Tensor.cat(
+            [cls[:, 0:1] for _ in range(n)], axis=1
+        ) if n > 1 else cls.reshape(world, 1, 1, self.embed_dim)
+        tokens = Tensor.cat([cls_batch, tokens], axis=2)
+        tokens = tokens + self.pos_embed
+
+        for block in self.blocks:
+            tokens = block(tokens)
+        tokens = self.norm(tokens)
+        cls_out = tokens[:, :, 0, :]
         return self.head(cls_out)
 
 

@@ -69,6 +69,15 @@ class SGD(Optimizer):
             if param.grad is None:
                 continue
             grad = param.grad
+            if grad.shape != param.data.shape:
+                # Catches un-aggregated (world, *shape) stacks from the
+                # world-batched execution path leaking into the optimiser:
+                # those must go through the DDP arena/hook reduction first.
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match parameter shape "
+                    f"{param.data.shape}; world-batched per-rank gradient stacks must "
+                    "be aggregated (repro.ddp) before the optimiser step"
+                )
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             if self.momentum:

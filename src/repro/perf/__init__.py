@@ -10,6 +10,8 @@ from repro.perf.suite import (
     BenchResult,
     SUITE,
     check_regressions,
+    host_fingerprint,
+    hosts_match,
     run_suite,
     time_callable,
     write_report,
@@ -19,6 +21,8 @@ __all__ = [
     "BenchResult",
     "SUITE",
     "check_regressions",
+    "host_fingerprint",
+    "hosts_match",
     "run_suite",
     "time_callable",
     "write_report",

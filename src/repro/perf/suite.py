@@ -7,6 +7,8 @@ are reported alongside):
 * ``train_step/<dtype>`` — a full 4-rank ResNet-18 DDP training step (forward,
   backward, arena staging, all-reduce, write-back, optimiser) in float64 and
   float32;
+* ``train_step_scaling`` — the same step at world sizes 16 and 64, comparing
+  the world-batched execution path against the per-rank loop;
 * ``codec/<spec>`` — encode→reduce/gather→decode round trips of representative
   codec pipelines over a (4, numel) gradient matrix;
 * ``engine/event_loop`` — the discrete-event engine scheduling many buckets
@@ -100,7 +102,12 @@ def time_callable(
 # --------------------------------------------------------------------------- #
 # Benchmarks
 # --------------------------------------------------------------------------- #
-def _train_step_setup(dtype: str, world_size: int = 4):
+def _train_step_setup(
+    dtype: str,
+    world_size: int = 4,
+    execution: str = "batched",
+    batch_size: Optional[int] = None,
+):
     # Imported lazily so `repro.perf` stays importable without pulling the
     # whole training stack at module import time.
     from repro.comm.process_group import ProcessGroup  # noqa: PLC0415
@@ -109,21 +116,24 @@ def _train_step_setup(dtype: str, world_size: int = 4):
     from repro.nn.models import build_model  # noqa: PLC0415
     from repro.tensorlib import default_dtype, functional as F  # noqa: PLC0415
 
+    # 128 samples shard evenly at every measured world size.
+    if batch_size is None:
+        batch_size = min(16, 128 // world_size)
     with default_dtype(dtype):
         dataset = synthetic_cifar10(num_samples=128, image_size=8, seed=0)
         model = build_model("resnet18", num_classes=10, seed=0)
         ddp = DistributedDataParallel(model, world_size=world_size, process_group=ProcessGroup(world_size))
         loaders = [
-            DataLoader(dataset, batch_size=16, sampler=DistributedSampler(len(dataset), world_size, rank, seed=0))
+            DataLoader(dataset, batch_size=batch_size, sampler=DistributedSampler(len(dataset), world_size, rank, seed=0))
             for rank in range(world_size)
         ]
         batches = [next(iter(loader)) for loader in loaders]
 
     def step() -> None:
         with default_dtype(dtype):
-            ddp.train_step(batches, F.cross_entropy)
+            ddp.train_step(batches, F.cross_entropy, execution=execution)
 
-    return step
+    return step, {"world_size": world_size, "batch_size": batch_size}
 
 
 def bench_train_step(quick: bool) -> List[BenchResult]:
@@ -131,14 +141,50 @@ def bench_train_step(quick: bool) -> List[BenchResult]:
     repeats, warmup = (5, 1) if quick else (11, 3)
     results = []
     for dtype in ("float64", "float32"):
-        step = _train_step_setup(dtype)
+        step, meta = _train_step_setup(dtype)
         results.append(
             time_callable(
                 step,
                 name=f"train_step/{dtype}/resnet18/w4",
                 repeats=repeats,
                 warmup=warmup,
-                meta={"world_size": 4, "batch_size": 16},
+                meta=meta,
+            )
+        )
+    return results
+
+
+def bench_train_step_scaling(quick: bool) -> List[BenchResult]:
+    """World-size scaling of the train step: batched vs per-rank looped.
+
+    Rows use single-sample per-rank batches — the regime the campaign actually
+    hits at high world sizes (its 64-sample golden dataset shards to one
+    sample per rank at 64 ranks), and the one that isolates the per-rank
+    dispatch overhead batched execution amortises.  The headline row pair is
+    w16 batched vs looped — their ratio is the derived
+    ``train_step_batched_speedup_vs_looped_w16`` metric — plus a w64 batched
+    row showing the strategy holds as the world grows.  Execution strategy is
+    encoded in the row name; ``meta`` stays numeric so the regression gate's
+    workload comparison keeps working.
+    """
+    repeats, warmup = (3, 1) if quick else (9, 2)
+    cases = [
+        (16, "batched"),
+        (16, "looped"),
+        (64, "batched"),
+    ]
+    results = []
+    for world_size, execution in cases:
+        step, meta = _train_step_setup(
+            "float64", world_size=world_size, execution=execution, batch_size=1
+        )
+        results.append(
+            time_callable(
+                step,
+                name=f"train_step/float64/resnet18/w{world_size}/{execution}",
+                repeats=repeats,
+                warmup=warmup,
+                meta=meta,
             )
         )
     return results
@@ -235,10 +281,30 @@ def bench_campaign_dispatch(quick: bool) -> BenchResult:
 #: name -> factory returning one result or a list of results.
 SUITE: Dict[str, Callable[[bool], object]] = {
     "train_step": bench_train_step,
+    "train_step_scaling": bench_train_step_scaling,
     "codec": bench_codec,
     "engine": bench_engine,
     "campaign": bench_campaign_dispatch,
 }
+
+
+def host_fingerprint() -> Dict[str, str]:
+    """Identify the measuring host: interpreter, numpy build, architecture.
+
+    Medians from different hosts are not comparable; the fingerprint is stored
+    in every report so ``check_regressions`` consumers (the CLI's ``--check``)
+    can downgrade cross-host comparisons to warnings instead of failures.
+    """
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
+
+
+def hosts_match(baseline: Dict) -> bool:
+    """Whether ``baseline`` (a report document) was measured on this host."""
+    return dict(baseline.get("host", {})) == host_fingerprint()
 
 
 # --------------------------------------------------------------------------- #
@@ -270,6 +336,10 @@ def _derived_metrics(results: Dict[str, BenchResult]) -> Dict[str, float]:
     f32 = results.get("train_step/float32/resnet18/w4")
     if f64 and f32 and f32.median_s > 0:
         derived["train_step_float32_speedup_vs_float64"] = f64.median_s / f32.median_s
+    batched = results.get("train_step/float64/resnet18/w16/batched")
+    looped = results.get("train_step/float64/resnet18/w16/looped")
+    if batched and looped and batched.median_s > 0:
+        derived["train_step_batched_speedup_vs_looped_w16"] = looped.median_s / batched.median_s
     return derived
 
 
@@ -288,11 +358,7 @@ def write_report(
     document: Dict = {
         "schema": SCHEMA_VERSION,
         "quick": quick,
-        "host": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "host": host_fingerprint(),
         "results": {name: result.to_dict() for name, result in sorted(results.items())},
         "derived": _derived_metrics(results),
     }

@@ -41,7 +41,9 @@ def apply_gse(
     * ``apply_gse(model, mask, grads=...)`` — return a masked copy of an
       external ``name -> gradient`` dict without touching the model (used when
       gradients have already been extracted, e.g. per-rank dictionaries in the
-      DDP simulator).
+      DDP simulator).  World-batched ``(world, *shape)`` gradient stacks work
+      unchanged: the ``(*shape)`` mask broadcasts over the leading world axis,
+      multiplying each rank's slice exactly as the per-rank path does.
 
     If ``mask`` is omitted it is derived from the current weights, which is the
     literal reading of Eq. (2).

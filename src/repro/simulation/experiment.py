@@ -29,7 +29,8 @@ from repro.pruning import PruningMask, apply_gse, grasp_prune, magnitude_prune
 from repro.simulation.cluster import ClusterSpec
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.timeline import TrainingTimeline
-from repro.tensorlib import Tensor, default_dtype, functional as F, no_grad
+from repro.tensorlib import Tensor, default_dtype, functional as F, no_grad, use_backend
+from repro.tensorlib.backend import KNOWN_BACKENDS
 from repro.tensorlib.dtypes import SUPPORTED_DTYPES
 
 
@@ -178,11 +179,30 @@ class ExperimentConfig:
     #: communication volumes and modeled times do not depend on this.  Also a
     #: campaign axis (``"dtype": ["float32", "float64"]``).
     dtype: str = "float64"
+    #: Host-side execution strategy for the per-iteration forward/backward:
+    #: ``"batched"`` (default) evaluates all ranks in one world-batched pass,
+    #: ``"looped"`` keeps the per-rank Python loop.  Float64 results are
+    #: bit-identical either way (dropout excepted); modeled time is
+    #: execution-independent, so this is purely a wall-clock knob.
+    execution: str = "batched"
+    #: Array backend for the tensor kernels (``repro.tensorlib.backend``):
+    #: ``None`` keeps the process-wide default (``REPRO_BACKEND`` env or
+    #: numpy); ``"numba"``/``"torch"``/``"cupy"`` opt into accelerated
+    #: kernels, degrading to numpy with a warning when the library is absent.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.dtype not in SUPPORTED_DTYPES:
             raise ValueError(
                 f"dtype must be one of {sorted(SUPPORTED_DTYPES)}, got {self.dtype!r}"
+            )
+        if self.execution not in ("batched", "looped"):
+            raise ValueError(
+                f"execution must be 'batched' or 'looped', got {self.execution!r}"
+            )
+        if self.backend is not None and self.backend not in KNOWN_BACKENDS:
+            raise ValueError(
+                f"backend must be None or one of {sorted(KNOWN_BACKENDS)}, got {self.backend!r}"
             )
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
@@ -401,6 +421,7 @@ def train_distributed(
     seed: int = 0,
     bucket_cap_bytes: int = DEFAULT_BUCKET_CAP_BYTES,
     sparsity_cache: Optional["_WeightSparsityCache"] = None,
+    execution: str = "batched",
 ) -> Tuple[TrainingTimeline, DistributedDataParallel, Compressor, bool]:
     """Run synchronous data-parallel training with modeled time.
 
@@ -412,10 +433,19 @@ def train_distributed(
     ``cluster.overlap`` off the schedule degenerates to the seed
     ``compute + comm`` sum bit-identically.
 
+    ``execution`` picks the host-side strategy for the per-rank passes:
+    ``"batched"`` (default) runs one world-batched forward/backward,
+    ``"looped"`` the per-rank Python loop; float64 losses, gradients and
+    traces are bit-identical either way, and modeled time — which measures
+    the *simulated* cluster — never depends on it.  Ragged tail batches
+    (unequal shapes across ranks) fall back to the loop for that iteration.
+
     Returns the timeline (accuracy/time trace), the DDP wrapper, the
     compressor (whose statistics record bytes on the wire) and whether the
     target accuracy was reached at any epoch.
     """
+    if execution not in ("batched", "looped"):
+        raise ValueError(f"unknown execution strategy {execution!r}")
     world_size = cluster.world_size
     process_group = cluster.process_group()
     compressor = method.build_compressor(seed=seed)
@@ -466,16 +496,32 @@ def train_distributed(
             except StopIteration:
                 break
 
-            per_rank_losses = []
-            for rank, batch in enumerate(batches):
-                # copy=False is safe because each rank's gradients are staged
-                # into the arena before the next rank's backward pass runs
-                # (GSE, when active, reads them in the same window).
-                loss_value, grads = ddp.compute_local_gradients(batch, F.cross_entropy, copy=False)
+            if execution == "batched" and DistributedDataParallel._stackable(batches):
+                images = np.stack([batch[0] for batch in batches])
+                labels = np.stack([np.asarray(batch[1]) for batch in batches])
+                per_rank_losses, grads = ddp.compute_batched_gradients(
+                    (images, labels), F.cross_entropy
+                )
                 if method.gse and mask is not None:
+                    # keep masks broadcast over the leading world axis:
+                    # (world, *shape) * (*shape) multiplies each rank's slice
+                    # exactly as the looped path does.
                     grads = apply_gse(model, mask, grads=grads)
-                ddp.stage_rank_gradients(rank, grads)
-                per_rank_losses.append(loss_value)
+                ddp.stage_world_gradients(grads)
+            else:
+                per_rank_losses = []
+                for rank, batch in enumerate(batches):
+                    # copy=False is safe because each rank's gradients are
+                    # staged into the arena before the next rank's backward
+                    # pass runs (GSE, when active, reads them in the same
+                    # window).
+                    loss_value, grads = ddp.compute_local_gradients(
+                        batch, F.cross_entropy, copy=False
+                    )
+                    if method.gse and mask is not None:
+                        grads = apply_gse(model, mask, grads=grads)
+                    ddp.stage_rank_gradients(rank, grads)
+                    per_rank_losses.append(loss_value)
 
             aggregated, bucket_events = ddp.synchronize_staged()
             ddp.apply_aggregated_gradients(aggregated)
@@ -524,10 +570,12 @@ def run_experiment(config: ExperimentConfig, method: MethodSpec) -> ExperimentRe
 
     The entire run — dataset materialisation, model construction, training,
     evaluation — executes under ``config.dtype`` (see
-    :func:`repro.tensorlib.dtypes.default_dtype`), restoring the previous
-    compute dtype on exit even when the run raises.
+    :func:`repro.tensorlib.dtypes.default_dtype`) and, when
+    ``config.backend`` is set, under that array backend
+    (:func:`repro.tensorlib.backend.use_backend`); both are restored on exit
+    even when the run raises.
     """
-    with default_dtype(config.dtype):
+    with default_dtype(config.dtype), use_backend(config.backend):
         return _run_experiment(config, method)
 
 
@@ -569,6 +617,7 @@ def _run_experiment(config: ExperimentConfig, method: MethodSpec) -> ExperimentR
         seed=config.seed,
         bucket_cap_bytes=config.bucket_cap_bytes,
         sparsity_cache=sparsity_cache,
+        execution=config.execution,
     )
 
     gradient_density = 1.0

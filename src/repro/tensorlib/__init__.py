@@ -26,6 +26,14 @@ from repro.tensorlib.dtypes import (
     resolve_dtype,
     set_default_dtype,
 )
+from repro.tensorlib.backend import (
+    KNOWN_BACKENDS,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.tensorlib import backend
 from repro.tensorlib import functional
 from repro.tensorlib import init
 
@@ -38,6 +46,12 @@ __all__ = [
     "get_default_dtype",
     "set_default_dtype",
     "resolve_dtype",
+    "KNOWN_BACKENDS",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "backend",
     "functional",
     "init",
 ]

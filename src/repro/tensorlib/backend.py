@@ -1,0 +1,403 @@
+"""Pluggable array-API backend seam for the tensor engine.
+
+The reproduction's numerics are pinned to numpy: every committed golden trace
+and benchmark number was produced by numpy kernels, and the float64 path is
+required to stay bit-identical across refactors.  At the same time the two
+known hot spots of a training step — the conv weight-gradient contraction and
+the ``col2im`` strided scatter-add — are exactly the kind of kernel an
+accelerated array library executes much faster.
+
+This module separates the *reference scheme* from its *accelerated
+implementations* (the discipline the Wang-Landau acceleration literature
+applies to stochastic approximation: accuracy control stays pinned while the
+execution strategy varies):
+
+* :class:`NumpyBackend` — the reference.  Every other backend is measured
+  against it; selecting it is always safe.
+* :class:`NumbaBackend` — JIT-compiles the two hot-spot kernels with plain
+  sequential accumulation loops (no fastmath, no reassociation).  On
+  construction it *probes* each JIT kernel against the numpy reference on
+  random inputs and silently falls back to numpy for any kernel that is not
+  bit-identical on this platform, so selecting numba can change speed but
+  never results.
+* :class:`TorchBackend` / :class:`CupyBackend` — thin adapters over optional
+  GPU-capable libraries.  They are auto-detected conveniences and make **no**
+  bit-identity promise (different BLAS, different reduction orders); the
+  golden-trace harness is the guard rail if they are ever used for frozen
+  workloads.
+
+None of the optional libraries is required: creating a backend whose library
+is missing falls back to :class:`NumpyBackend` with a logged warning, so
+``REPRO_BACKEND=numba`` on a numpy-only host degrades gracefully.
+
+Selection
+---------
+The process-wide active backend is resolved lazily from the
+``REPRO_BACKEND`` environment variable (default ``numpy``) and can be changed
+with :func:`set_backend` or scoped with :func:`use_backend`.  Experiment runs
+select a backend per run through ``ExperimentConfig.backend``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import importlib.util
+import logging
+import os
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+logger = logging.getLogger(__name__)
+
+#: Environment variable naming the process-default backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Names accepted by :func:`create_backend` / ``ExperimentConfig.backend``.
+KNOWN_BACKENDS = ("numpy", "numba", "torch", "cupy")
+
+
+class NumpyBackend:
+    """The reference backend: a minimal array-API surface over numpy.
+
+    The protocol is deliberately small — the contractions, pad/take data
+    movement, reductions and an RNG bridge — because that is the complete set
+    of numpy entry points the tensor engine's hot paths go through.  Methods
+    accept and return ``np.ndarray``; accelerated subclasses may convert
+    internally but must hand back numpy arrays.
+    """
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------ #
+    # Contractions
+    # ------------------------------------------------------------------ #
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.matmul(a, b)
+
+    def einsum(self, subscripts: str, *operands: np.ndarray) -> np.ndarray:
+        return np.einsum(subscripts, *operands)
+
+    # ------------------------------------------------------------------ #
+    # Data movement
+    # ------------------------------------------------------------------ #
+    def pad(self, a: np.ndarray, pad_width) -> np.ndarray:
+        return np.pad(a, pad_width)
+
+    def take(self, a: np.ndarray, indices: np.ndarray, axis: Optional[int] = None) -> np.ndarray:
+        return np.take(a, indices, axis=axis)
+
+    # ------------------------------------------------------------------ #
+    # Reductions (numpy ufunc reductions: the bit-identity reference)
+    # ------------------------------------------------------------------ #
+    def sum(self, a: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        return np.sum(a, axis=axis, keepdims=keepdims)
+
+    def mean(self, a: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        return np.mean(a, axis=axis, keepdims=keepdims)
+
+    def amax(self, a: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        return np.amax(a, axis=axis, keepdims=keepdims)
+
+    def amin(self, a: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        return np.amin(a, axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------ #
+    # RNG bridge
+    # ------------------------------------------------------------------ #
+    def rng(self, seed: Optional[int] = None) -> np.random.Generator:
+        """A numpy ``Generator``: all backends share numpy's RNG streams so
+        stochastic codecs and dropout draw identical sequences regardless of
+        which backend executes the contractions."""
+        return np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Hot-spot kernels (the seams accelerated backends override)
+    # ------------------------------------------------------------------ #
+    def conv_weight_grad(self, grad_mat: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Convolution weight-gradient contraction, ``(O, N*L) @ (N*L, K)``.
+
+        ``grad_mat``/``cols`` are either the per-rank ``(N, L, O)`` /
+        ``(N, L, K)`` layout or the world-batched ``(W, N, L, O)`` /
+        ``(W, N, L, K)`` layout.  Both dispatch to GEMM with the sample and
+        window axes fused into the single contraction axis; the world axis
+        stays a *batch* axis (numpy runs one GEMM per slice), so the batched
+        result is bit-identical to calling the per-rank kernel per world.
+        """
+        if grad_mat.ndim == 4:
+            world, n, length, o = grad_mat.shape
+            gm = grad_mat.transpose(0, 3, 1, 2).reshape(world, o, n * length)
+            return np.matmul(gm, cols.reshape(world, n * length, -1))
+        n, length, o = grad_mat.shape
+        gm = grad_mat.transpose(2, 0, 1).reshape(o, n * length)
+        return np.matmul(gm, cols.reshape(n * length, -1))
+
+    def col2im_scatter_add(
+        self, padded: np.ndarray, cols: np.ndarray, sh: int, sw: int, out_h: int, out_w: int
+    ) -> None:
+        """The ordered ``kh*kw`` scatter-add of :func:`repro.tensorlib.functional.col2im`.
+
+        ``cols`` is the ``(kh, kw, N, C, out_h, out_w)`` re-layout; additions
+        run in ``(i, j)``-major order, which defines the reference summation
+        order every accelerated implementation must reproduce.
+        """
+        kh, kw = cols.shape[0], cols.shape[1]
+        for i in range(kh):
+            for j in range(kw):
+                padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += cols[i, j]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class NumbaBackend(NumpyBackend):
+    """Numba-accelerated backend: JITs the two hot-spot kernels.
+
+    The col2im kernel uses plain sequential loops (no ``fastmath``, no
+    parallel reduction) in the same ``(i, j)``-major order as the numpy
+    reference; the weight-grad kernel lowers to the same GEMM shape the numpy
+    reference dispatches.  Because compilers and BLAS builds may still differ
+    in ways we cannot see, each kernel is probed for bit-identity against
+    :class:`NumpyBackend` on random float64 inputs at construction time; a
+    kernel that fails its probe is disabled (numpy is used instead) with a
+    logged warning.  Selecting this backend can therefore change speed but
+    never numbers.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        import numba  # raises ImportError when unavailable
+
+        njit = numba.njit
+
+        @njit(cache=False)
+        def _conv_weight_grad(gm, cols2):  # pragma: no cover - jit
+            # (O, N*L) @ (N*L, K): numba lowers np.dot to BLAS, the same
+            # routine the numpy reference dispatches to; the probe verifies
+            # the two builds actually agree bit-for-bit on this host.
+            return np.dot(gm, cols2)
+
+        @njit(cache=False)
+        def _col2im_scatter(padded, cols, sh, sw):  # pragma: no cover - jit
+            kh, kw, n, c, oh, ow = cols.shape
+            for i in range(kh):
+                for j in range(kw):
+                    for a in range(n):
+                        for b in range(c):
+                            for t in range(oh):
+                                for u in range(ow):
+                                    padded[a, b, i + sh * t, j + sw * u] += cols[i, j, a, b, t, u]
+
+        self._conv_weight_grad_jit = _conv_weight_grad
+        self._col2im_scatter_jit = _col2im_scatter
+        self._jit_weight_grad_ok = self._probe_weight_grad()
+        self._jit_col2im_ok = self._probe_col2im()
+
+    # ------------------------------------------------------------------ #
+    def _probe_weight_grad(self) -> bool:
+        rng = np.random.default_rng(0)
+        grad_mat = rng.standard_normal((3, 5, 4))
+        cols = rng.standard_normal((3, 5, 7))
+        reference = NumpyBackend.conv_weight_grad(self, grad_mat, cols)
+        gm = np.ascontiguousarray(grad_mat.transpose(2, 0, 1).reshape(4, 15))
+        out = self._conv_weight_grad_jit(gm, cols.reshape(15, 7))
+        if not np.array_equal(out, reference):
+            logger.warning(
+                "numba conv weight-grad kernel is not bit-identical to numpy on "
+                "this platform; using the numpy reference for it"
+            )
+            return False
+        return True
+
+    def _probe_col2im(self) -> bool:
+        rng = np.random.default_rng(1)
+        cols = rng.standard_normal((3, 3, 2, 2, 4, 4))
+        reference = np.zeros((2, 2, 10, 10))
+        NumpyBackend.col2im_scatter_add(self, reference, cols, 2, 2, 4, 4)
+        probe = np.zeros_like(reference)
+        self._col2im_scatter_jit(probe, cols, 2, 2)
+        if not np.array_equal(probe, reference):
+            logger.warning(
+                "numba col2im scatter kernel is not bit-identical to numpy on "
+                "this platform; using the numpy reference for it"
+            )
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    def conv_weight_grad(self, grad_mat: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        if not self._jit_weight_grad_ok:
+            return super().conv_weight_grad(grad_mat, cols)
+        if grad_mat.ndim == 4:
+            world, n, length, o = grad_mat.shape
+            gm = np.ascontiguousarray(grad_mat.transpose(0, 3, 1, 2).reshape(world, o, n * length))
+            cols3 = np.ascontiguousarray(cols.reshape(world, n * length, -1))
+            out = np.empty((world, o, cols3.shape[-1]), dtype=grad_mat.dtype)
+            for w in range(world):
+                out[w] = self._conv_weight_grad_jit(gm[w], cols3[w])
+            return out
+        n, length, o = grad_mat.shape
+        gm = np.ascontiguousarray(grad_mat.transpose(2, 0, 1).reshape(o, n * length))
+        return self._conv_weight_grad_jit(gm, np.ascontiguousarray(cols.reshape(n * length, -1)))
+
+    def col2im_scatter_add(
+        self, padded: np.ndarray, cols: np.ndarray, sh: int, sw: int, out_h: int, out_w: int
+    ) -> None:
+        if not self._jit_col2im_ok:
+            super().col2im_scatter_add(padded, cols, sh, sw, out_h, out_w)
+            return
+        self._col2im_scatter_jit(padded, np.ascontiguousarray(cols), sh, sw)
+
+
+class TorchBackend(NumpyBackend):
+    """Thin adapter over an installed torch (CPU tensors, numpy in/out).
+
+    Experimental: torch's BLAS and reduction orders differ from numpy's, so
+    this backend makes no bit-identity promise — the golden-trace harness is
+    the guard rail.  Auto-detected; absent torch falls back to numpy.
+    """
+
+    name = "torch"
+
+    def __init__(self) -> None:
+        import torch  # raises ImportError when unavailable
+
+        self._torch = torch
+
+    def _to(self, a: np.ndarray):
+        return self._torch.from_numpy(np.ascontiguousarray(a))
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._torch.matmul(self._to(a), self._to(b)).numpy()
+
+    def einsum(self, subscripts: str, *operands: np.ndarray) -> np.ndarray:
+        return self._torch.einsum(subscripts, *[self._to(op) for op in operands]).numpy()
+
+
+class CupyBackend(NumpyBackend):
+    """Thin adapter over an installed cupy (GPU arrays, numpy in/out).
+
+    Experimental, same caveats as :class:`TorchBackend`; the device round trip
+    per call means it only pays off for large contractions.
+    """
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        import cupy  # raises ImportError when unavailable
+
+        self._cupy = cupy
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        cp = self._cupy
+        return cp.asnumpy(cp.matmul(cp.asarray(a), cp.asarray(b)))
+
+    def einsum(self, subscripts: str, *operands: np.ndarray) -> np.ndarray:
+        cp = self._cupy
+        return cp.asnumpy(cp.einsum(subscripts, *[cp.asarray(op) for op in operands]))
+
+
+#: name -> backend class
+_BACKEND_CLASSES = {
+    "numpy": NumpyBackend,
+    "numba": NumbaBackend,
+    "torch": TorchBackend,
+    "cupy": CupyBackend,
+}
+
+#: name -> module that must be importable for the backend to work.
+_BACKEND_REQUIRES = {"numba": "numba", "torch": "torch", "cupy": "cupy"}
+
+_ACTIVE: Optional[NumpyBackend] = None
+
+
+def available_backends() -> List[str]:
+    """Names of the backends whose libraries are importable on this host."""
+    names = ["numpy"]
+    for name, module in _BACKEND_REQUIRES.items():
+        if importlib.util.find_spec(module) is not None:
+            names.append(name)
+    return names
+
+
+def create_backend(name: str) -> NumpyBackend:
+    """Instantiate a backend by name, falling back to numpy when unavailable.
+
+    Unknown names raise ``KeyError`` (a configuration typo must fail loudly);
+    a *known* backend whose optional library is missing — or whose
+    construction fails — degrades to :class:`NumpyBackend` with a logged
+    warning, so environment differences change speed, never behaviour.
+    """
+    if name not in _BACKEND_CLASSES:
+        raise KeyError(f"unknown backend {name!r}; known backends: {sorted(_BACKEND_CLASSES)}")
+    try:
+        return _BACKEND_CLASSES[name]()
+    except ImportError:
+        logger.warning(
+            "backend %r unavailable (%s is not installed); falling back to numpy",
+            name,
+            _BACKEND_REQUIRES.get(name, name),
+        )
+    except Exception as error:  # pragma: no cover - defensive
+        logger.warning("backend %r failed to initialise (%s); falling back to numpy", name, error)
+    return NumpyBackend()
+
+
+def _resolve_default() -> NumpyBackend:
+    name = os.environ.get(BACKEND_ENV_VAR, "numpy").strip() or "numpy"
+    if name not in _BACKEND_CLASSES:
+        logger.warning(
+            "%s=%r names an unknown backend (known: %s); falling back to numpy",
+            BACKEND_ENV_VAR,
+            name,
+            sorted(_BACKEND_CLASSES),
+        )
+        return NumpyBackend()
+    return create_backend(name)
+
+
+def get_backend() -> NumpyBackend:
+    """The process-wide active backend (lazily resolved from ``REPRO_BACKEND``)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = _resolve_default()
+    return _ACTIVE
+
+
+def set_backend(backend: Union[str, NumpyBackend, None]) -> NumpyBackend:
+    """Set the process-wide backend.
+
+    Accepts a name (``"numpy"``, ``"numba"``, ...), a backend instance, or
+    ``None`` to re-resolve from the environment.  Returns the backend that is
+    now active (which may be the numpy fallback when the requested optional
+    library is missing).
+    """
+    global _ACTIVE
+    if backend is None:
+        _ACTIVE = _resolve_default()
+    elif isinstance(backend, str):
+        _ACTIVE = create_backend(backend)
+    else:
+        _ACTIVE = backend
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use_backend(backend: Union[str, NumpyBackend, None]) -> Iterator[NumpyBackend]:
+    """Scoped backend selection: restores the previous backend on exit.
+
+    ``use_backend(None)`` is a no-op context (the current backend stays
+    active) — the convention ``ExperimentConfig.backend = None`` relies on.
+    """
+    global _ACTIVE
+    if backend is None:
+        yield get_backend()
+        return
+    previous = _ACTIVE
+    active = set_backend(backend)
+    try:
+        yield active
+    finally:
+        _ACTIVE = previous

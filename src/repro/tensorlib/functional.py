@@ -11,14 +11,33 @@ The convolution path is the hottest code in every training step, so it avoids
 and — on the float32 fast path — contracts the weight gradient through BLAS
 instead of ``np.einsum``.  The float64 path keeps the original kernels so its
 results stay bit-identical to the historical behaviour.
+
+World-batched execution
+-----------------------
+The simulated-DDP training step can evaluate all ranks at once by prepending a
+``world`` axis to the data and broadcasting parameters to ``(world, *shape)``
+views (see :mod:`repro.nn.batched`).  The kernels here accept that extra
+leading dimension — conv/pool collapse it into the im2col batch axis (each
+window is still reduced per sample), contractions keep ``world`` as a matmul
+*batch* axis so numpy dispatches the same per-slice GEMMs as the per-rank
+loop, and :func:`cross_entropy` returns a per-world loss vector.  Every
+world-batched float64 result is bit-identical per rank to the looped kernels;
+the one exception is :func:`dropout`, which draws a single batched mask (a
+different RNG consumption pattern than one draw per rank).
+
+Contractions and the ``col2im`` scatter-add route through the active
+:mod:`repro.tensorlib.backend`, whose numpy reference defines the summation
+order accelerated backends must reproduce.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.tensorlib.backend import get_backend
 from repro.tensorlib.tensor import Tensor, is_grad_enabled
 
 
@@ -103,9 +122,27 @@ def col2im(
     cols = np.ascontiguousarray(
         cols.reshape(n, out_h, out_w, c, kh, kw).transpose(4, 5, 0, 3, 1, 2)
     )
-    for i in range(kh):
-        for j in range(kw):
-            padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += cols[i, j]
+    if sh >= kh and sw >= kw:
+        # Non-overlapping windows (every pooling layout): the kh*kw ordered
+        # '+=' passes each touch a disjoint set of positions, so the whole
+        # scatter collapses into one strided assignment — bit-identical
+        # because every position receives exactly one addend (0 + x == x).
+        strides = padded.strides
+        view = np.lib.stride_tricks.as_strided(
+            padded,
+            shape=(kh, kw, n, c, out_h, out_w),
+            strides=(
+                strides[2],
+                strides[3],
+                strides[0],
+                strides[1],
+                strides[2] * sh,
+                strides[3] * sw,
+            ),
+        )
+        view[...] = cols
+    else:
+        get_backend().col2im_scatter_add(padded, cols, sh, sw, out_h, out_w)
     if ph == 0 and pw == 0:
         return padded
     return padded[:, :, ph : ph + h, pw : pw + w]
@@ -121,19 +158,27 @@ def conv2d(
     stride=1,
     padding=0,
 ) -> Tensor:
-    """2-D convolution over ``(N, C, H, W)`` input with ``(O, C, kh, kw)`` weight."""
+    """2-D convolution over ``(N, C, H, W)`` input with ``(O, C, kh, kw)`` weight.
+
+    A 5-D weight view ``(world, O, C, kh, kw)`` with 5-D input
+    ``(world, N, C, H, W)`` selects the world-batched kernel, whose per-rank
+    float64 results are bit-identical to running this kernel per world slice.
+    """
     stride = _pair(stride)
     padding = _pair(padding)
+    if weight.ndim == 5:
+        return _conv2d_batched(x, weight, bias, stride, padding)
     out_channels, in_channels, kh, kw = weight.shape
     if x.shape[1] != in_channels:
         raise ValueError(
             f"conv2d channel mismatch: input has {x.shape[1]} channels, weight expects {in_channels}"
         )
 
+    backend = get_backend()
     cols, (out_h, out_w) = im2col(x.data, (kh, kw), stride, padding)
     w_mat = weight.data.reshape(out_channels, -1)
     # (N, L, CKK) @ (CKK, O) -> (N, L, O)
-    out = cols @ w_mat.T
+    out = backend.matmul(cols, w_mat.T)
     if bias is not None:
         out = out + bias.data.reshape(1, 1, -1)
     out_data = out.transpose(0, 2, 1).reshape(x.shape[0], out_channels, out_h, out_w)
@@ -146,37 +191,134 @@ def conv2d(
         # grad: (N, O, out_h, out_w) -> (N, L, O)
         grad_mat = grad.reshape(x.shape[0], out_channels, out_h * out_w).transpose(0, 2, 1)
         if weight.requires_grad:
-            if grad_mat.dtype == np.float32:
-                # BLAS contraction; float64 keeps einsum so its summation
-                # order (and therefore every historical result) is unchanged.
-                grad_w = np.tensordot(grad_mat, cols, axes=((0, 1), (0, 1)))
-            else:
-                grad_w = np.einsum("nlo,nlk->ok", grad_mat, cols)
+            grad_w = backend.conv_weight_grad(grad_mat, cols)
             weight._accumulate(grad_w.reshape(weight.shape), own=True)
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad_mat.sum(axis=(0, 1)), own=True)
         if x.requires_grad:
             if (
-                grad_mat.dtype == np.float32
-                and stride == (1, 1)
+                stride == (1, 1)
                 and padding[0] <= kh - 1
                 and padding[1] <= kw - 1
             ):
-                # Float32 fast path: the input gradient of a stride-1
-                # convolution is a correlation of the output gradient with the
-                # flipped kernels — one im2col + BLAS matmul instead of the
-                # kh*kw strided scatter-add loop in col2im.
+                # Fast path: the input gradient of a stride-1 convolution is a
+                # correlation of the output gradient with the flipped kernels —
+                # one im2col + BLAS matmul instead of the kh*kw strided
+                # scatter-add loop in col2im.
                 grad_img = grad.reshape(x.shape[0], out_channels, out_h, out_w)
                 flipped = weight.data[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)
                 g_cols, _ = im2col(grad_img, (kh, kw), (1, 1), (kh - 1 - padding[0], kw - 1 - padding[1]))
                 grad_x = (
-                    (g_cols @ flipped.reshape(x.shape[1], -1).T)
+                    backend.matmul(g_cols, flipped.reshape(x.shape[1], -1).T)
                     .transpose(0, 2, 1)
                     .reshape(x.shape)
                 )
             else:
-                grad_cols = grad_mat @ w_mat
+                grad_cols = backend.matmul(grad_mat, w_mat)
                 grad_x = col2im(grad_cols, x.shape, (kh, kw), stride, padding)
+            x._accumulate(grad_x, own=True)
+
+    return _make_output(out_data, parents, backward)
+
+
+def _conv2d_batched(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tensor:
+    """World-batched convolution: ``(world, N, C, H, W)`` input, ``(world, O, C, kh, kw)`` weight.
+
+    The world axis folds into im2col's batch axis (windows still reduce per
+    sample) and stays a *batch* axis of every contraction, so numpy runs the
+    same per-slice GEMMs — including the weight-gradient contraction — as the
+    per-rank loop.  Replica views broadcast from shared
+    parameters (``strides[0] == 0``) are detected so the shared weight matrix
+    is used directly instead of materialising ``world`` copies.
+    """
+    if x.ndim != 5 or x.shape[0] != weight.shape[0]:
+        raise ValueError(
+            f"batched conv2d expects (world, N, C, H, W) input matching weight world "
+            f"{weight.shape[0]}, got input shape {x.shape}"
+        )
+    world, n = x.shape[0], x.shape[1]
+    out_channels, in_channels, kh, kw = weight.shape[1:]
+    if x.shape[2] != in_channels:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {x.shape[2]} channels, weight expects {in_channels}"
+        )
+
+    backend = get_backend()
+    flat_images = x.data.reshape((world * n,) + x.shape[2:])
+    cols, (out_h, out_w) = im2col(flat_images, (kh, kw), stride, padding)  # (W*N, L, K)
+    length = out_h * out_w
+    cols4 = cols.reshape(world, n, length, -1)
+    shared_weight = weight.data.strides[0] == 0
+    if shared_weight:
+        w_mat = weight.data[0].reshape(out_channels, -1)  # (O, K), no world copies
+        w_mats = None
+        out4 = backend.matmul(cols, w_mat.T).reshape(world, n, length, out_channels)
+    else:
+        w_mat = None
+        w_mats = weight.data.reshape(world, out_channels, -1)  # (W, O, K)
+        # (W, N, L, K) @ (W, 1, K, O) -> (W, N, L, O), per-slice GEMMs.
+        out4 = backend.matmul(cols4, np.swapaxes(w_mats, -1, -2)[:, None])
+    if bias is not None:
+        b = bias.data  # (world, O) view
+        if b.strides[0] == 0:
+            out4 = out4 + b[0].reshape(1, 1, 1, -1)
+        else:
+            out4 = out4 + b.reshape(world, 1, 1, -1)
+    out_data = out4.transpose(0, 1, 3, 2).reshape(world, n, out_channels, out_h, out_w)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    if not _needs_graph(*parents):
+        return Tensor._wrap(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        # grad: (W, N, O, out_h, out_w) -> (W, N, L, O)
+        grad_mat = grad.reshape(world, n, out_channels, length).transpose(0, 1, 3, 2)
+        if weight.requires_grad:
+            grad_w = backend.conv_weight_grad(grad_mat, cols4)  # (W, O, K)
+            weight._accumulate(grad_w.reshape(weight.shape), own=True)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_mat.sum(axis=(1, 2)), own=True)
+        if x.requires_grad:
+            if (
+                stride == (1, 1)
+                and padding[0] <= kh - 1
+                and padding[1] <= kw - 1
+            ):
+                # Correlation fast path, mirroring the per-rank kernel: the
+                # world axis folds into im2col's batch axis and stays a batch
+                # axis of the GEMM, so per-rank results are bit-identical.
+                grad_img = grad.reshape(world * n, out_channels, out_h, out_w)
+                g_cols, _ = im2col(grad_img, (kh, kw), (1, 1), (kh - 1 - padding[0], kw - 1 - padding[1]))
+                if shared_weight:
+                    flipped = weight.data[0][:, :, ::-1, ::-1].transpose(1, 0, 2, 3)
+                    gx = backend.matmul(g_cols, flipped.reshape(in_channels, -1).T)
+                else:
+                    # (W, C, O*kh*kw) flipped kernels per world; per-slice GEMM.
+                    flipped = weight.data[:, :, :, ::-1, ::-1].transpose(0, 2, 1, 3, 4)
+                    fl = flipped.reshape(world, in_channels, -1)
+                    g_cols4 = g_cols.reshape(world, n, g_cols.shape[1], -1)
+                    gx = backend.matmul(g_cols4, np.swapaxes(fl, -1, -2)[:, None]).reshape(
+                        world * n, g_cols.shape[1], in_channels
+                    )
+                grad_x = gx.transpose(0, 2, 1).reshape(x.shape)
+            else:
+                if shared_weight:
+                    grad_cols = backend.matmul(
+                        grad_mat.reshape(world * n, length, out_channels), w_mat
+                    )
+                else:
+                    grad_cols = backend.matmul(grad_mat, w_mats[:, None]).reshape(
+                        world * n, length, -1
+                    )
+                grad_x = col2im(
+                    grad_cols, (world * n,) + x.shape[2:], (kh, kw), stride, padding
+                ).reshape(x.shape)
             x._accumulate(grad_x, own=True)
 
     return _make_output(out_data, parents, backward)
@@ -186,63 +328,67 @@ def conv2d(
 # Pooling
 # --------------------------------------------------------------------------- #
 def max_pool2d(x: Tensor, kernel_size=2, stride=None) -> Tensor:
-    """Max pooling over ``(N, C, H, W)`` input."""
+    """Max pooling over ``(..., C, H, W)`` input (extra leading axes fold into the batch)."""
     kernel_size = _pair(kernel_size)
     stride = _pair(stride) if stride is not None else kernel_size
-    n, c, h, w = x.shape
+    *lead, c, h, w = x.shape
+    flat = math.prod(lead) * c
     kh, kw = kernel_size
     sh, sw = stride
     out_h = (h - kh) // sh + 1
     out_w = (w - kw) // sw + 1
 
-    cols, _ = im2col(x.data.reshape(n * c, 1, h, w), kernel_size, stride, (0, 0))
-    cols = cols.reshape(n * c, out_h * out_w, kh * kw)
+    cols, _ = im2col(x.data.reshape(flat, 1, h, w), kernel_size, stride, (0, 0))
+    cols = cols.reshape(flat, out_h * out_w, kh * kw)
     argmax = cols.argmax(axis=2)
-    out_data = np.take_along_axis(cols, argmax[..., None], axis=2).reshape(n, c, out_h, out_w)
+    out_data = np.take_along_axis(cols, argmax[..., None], axis=2).reshape(
+        *lead, c, out_h, out_w
+    )
     if not _needs_graph(x):
         return Tensor._wrap(out_data)
 
     def backward(grad: np.ndarray) -> None:
         grad_cols = np.zeros_like(cols)
         np.put_along_axis(
-            grad_cols, argmax[..., None], grad.reshape(n * c, out_h * out_w, 1), axis=2
+            grad_cols, argmax[..., None], grad.reshape(flat, out_h * out_w, 1), axis=2
         )
-        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel_size, stride, (0, 0))
-        x._accumulate(grad_x.reshape(n, c, h, w), own=True)
+        grad_x = col2im(grad_cols, (flat, 1, h, w), kernel_size, stride, (0, 0))
+        x._accumulate(grad_x.reshape(x.shape), own=True)
 
     return _make_output(out_data, (x,), backward)
 
 
 def avg_pool2d(x: Tensor, kernel_size=2, stride=None) -> Tensor:
-    """Average pooling over ``(N, C, H, W)`` input."""
+    """Average pooling over ``(..., C, H, W)`` input (extra leading axes fold into the batch)."""
     kernel_size = _pair(kernel_size)
     stride = _pair(stride) if stride is not None else kernel_size
-    n, c, h, w = x.shape
+    *lead, c, h, w = x.shape
+    flat = math.prod(lead) * c
     kh, kw = kernel_size
     sh, sw = stride
     out_h = (h - kh) // sh + 1
     out_w = (w - kw) // sw + 1
 
-    cols, _ = im2col(x.data.reshape(n * c, 1, h, w), kernel_size, stride, (0, 0))
-    cols = cols.reshape(n * c, out_h * out_w, kh * kw)
-    out_data = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+    cols, _ = im2col(x.data.reshape(flat, 1, h, w), kernel_size, stride, (0, 0))
+    cols = cols.reshape(flat, out_h * out_w, kh * kw)
+    out_data = cols.mean(axis=2).reshape(*lead, c, out_h, out_w)
     if not _needs_graph(x):
         return Tensor._wrap(out_data)
     scale = 1.0 / (kh * kw)
 
     def backward(grad: np.ndarray) -> None:
         grad_cols = np.repeat(
-            grad.reshape(n * c, out_h * out_w, 1) * scale, kh * kw, axis=2
+            grad.reshape(flat, out_h * out_w, 1) * scale, kh * kw, axis=2
         )
-        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel_size, stride, (0, 0))
-        x._accumulate(grad_x.reshape(n, c, h, w), own=True)
+        grad_x = col2im(grad_cols, (flat, 1, h, w), kernel_size, stride, (0, 0))
+        x._accumulate(grad_x.reshape(x.shape), own=True)
 
     return _make_output(out_data, (x,), backward)
 
 
 def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
     """Adaptive average pooling; only square outputs dividing the input evenly are supported."""
-    n, c, h, w = x.shape
+    h, w = x.shape[-2], x.shape[-1]
     if h % output_size or w % output_size:
         raise ValueError("adaptive_avg_pool2d requires the input size to be divisible by output_size")
     return avg_pool2d(x, kernel_size=(h // output_size, w // output_size))
@@ -309,7 +455,7 @@ def fused_norm(
 def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
     """Lookup rows of ``weight`` for integer ``indices``."""
     indices = np.asarray(indices, dtype=np.int64)
-    out_data = weight.data[indices]
+    out_data = get_backend().take(weight.data, indices, axis=0)
     if not _needs_graph(weight):
         return Tensor._wrap(out_data)
 
@@ -322,7 +468,13 @@ def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
-    """Inverted dropout: scales surviving activations by ``1/(1-p)`` at train time."""
+    """Inverted dropout: scales surviving activations by ``1/(1-p)`` at train time.
+
+    Under world-batched execution one ``(world, ...)`` mask is drawn in a
+    single call, a different RNG consumption pattern than one draw per rank —
+    the only world-batched kernel that is *not* bit-identical to the looped
+    path.  The frozen golden workloads all run with dropout disabled.
+    """
     if not training or p <= 0.0:
         return x
     rng = rng or np.random.default_rng()
@@ -341,9 +493,21 @@ def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generat
 # Losses (functional form)
 # --------------------------------------------------------------------------- #
 def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
-    """Mean cross-entropy between ``(N, C)`` logits and integer class targets."""
+    """Mean cross-entropy between ``(N, C)`` logits and integer class targets.
+
+    World-batched ``(world, N, C)`` logits with ``(world, N)`` targets return
+    the per-world loss *vector* ``(world,)``; each entry is bit-identical to
+    the scalar loss the per-rank loop computes, and seeding ``backward`` with
+    ``np.ones(world)`` reproduces the per-rank unit seeds.
+    """
     targets = np.asarray(targets, dtype=np.int64)
     log_probs = logits.log_softmax(axis=-1)
+    if logits.ndim == 3:
+        world, n = logits.shape[0], logits.shape[1]
+        picked = log_probs[
+            np.arange(world)[:, None], np.arange(n)[None, :], targets
+        ]
+        return -picked.mean(axis=1)
     n = logits.shape[0]
     picked = log_probs[np.arange(n), targets]
     return -picked.mean()

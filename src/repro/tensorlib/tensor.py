@@ -28,6 +28,7 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.tensorlib import backend as _backend
 from repro.tensorlib import dtypes as _dtypes
 from repro.tensorlib.dtypes import get_default_dtype
 
@@ -411,9 +412,15 @@ class Tensor:
         return self.matmul(other)
 
     def matmul(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        """Matrix multiplication supporting batched operands (numpy semantics)."""
+        """Matrix multiplication supporting batched operands (numpy semantics).
+
+        Routed through the active :mod:`repro.tensorlib.backend`; the numpy
+        reference backend is ``np.matmul``, whose per-slice GEMM dispatch is
+        what keeps world-batched execution bit-identical to the per-rank loop.
+        """
         other = Tensor._ensure(other)
-        out_data = self.data @ other.data
+        b = _backend.get_backend()
+        out_data = b.matmul(self.data, other.data)
         if not self._needs_graph(other):
             return Tensor._wrap(out_data)
 
@@ -422,13 +429,13 @@ class Tensor:
                 if other.data.ndim == 1:
                     grad_self = np.outer(grad, other.data) if self.data.ndim == 2 else grad[..., None] * other.data
                 else:
-                    grad_self = grad @ np.swapaxes(other.data, -1, -2)
+                    grad_self = b.matmul(grad, np.swapaxes(other.data, -1, -2))
                 self._accumulate(_unbroadcast(grad_self, self.shape), own=True)
             if other.requires_grad:
                 if self.data.ndim == 1:
                     grad_other = np.outer(self.data, grad)
                 else:
-                    grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                    grad_other = b.matmul(np.swapaxes(self.data, -1, -2), grad)
                 other._accumulate(_unbroadcast(grad_other, other.shape), own=True)
 
         return Tensor._attach(out_data, (self, other), backward)
@@ -541,7 +548,7 @@ class Tensor:
 
     def pad(self, pad_width) -> "Tensor":
         """Zero-pad the tensor; ``pad_width`` follows ``numpy.pad`` conventions."""
-        out_data = np.pad(self.data, pad_width)
+        out_data = _backend.get_backend().pad(self.data, pad_width)
         if not self._needs_graph():
             return Tensor._wrap(out_data)
         slices = tuple(

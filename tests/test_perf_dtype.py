@@ -400,14 +400,23 @@ class TestPerfSuite:
         document = json.loads(out.read_text())
         assert "campaign/dispatch" in document["results"]
         # A fabricated much-faster baseline (same workload meta — entries with
-        # different workloads are skipped) must trip the regression gate.
+        # different workloads are skipped) must trip the regression gate, but
+        # only when it carries this host's fingerprint.
         entry = document["results"]["campaign/dispatch"]
-        fast = {"results": {"campaign/dispatch": {
+        fast = {"host": document["host"], "results": {"campaign/dispatch": {
             "median_s": entry["median_s"] / 100.0, "meta": entry["meta"]}}}
         baseline_path = tmp_path / "baseline.json"
         baseline_path.write_text(json.dumps(fast))
         assert main(["perf", "--quick", "--only", "campaign", "--out", str(out),
                      "--check", str(baseline_path)]) == 2
+        # The same regression measured against a different host's baseline is
+        # demoted to a warning (exit 0): cross-host medians are incomparable.
+        fast["host"] = {"python": "0.0.0", "numpy": "0.0", "machine": "other"}
+        baseline_path.write_text(json.dumps(fast))
+        assert main(["perf", "--quick", "--only", "campaign", "--out", str(out),
+                     "--check", str(baseline_path)]) == 0
+        err = capsys.readouterr().err
+        assert "different host" in err
 
     def test_check_skips_mismatched_workloads(self):
         from repro.perf import BenchResult, check_regressions

@@ -546,7 +546,9 @@ class TestNMSEProperties:
     @given(arrays(shape=st.tuples(st.integers(1, 64))), st.floats(min_value=0.1, max_value=10.0))
     @settings(max_examples=50, deadline=None)
     def test_nmse_is_scale_invariant(self, values, scale):
-        if np.sum(values ** 2) == 0.0:
+        # Subnormal squared magnitudes lose precision faster than the rel
+        # tolerance below; scale invariance only holds in the normal range.
+        if np.sum(values ** 2) < np.finfo(np.float64).tiny:
             return
         noisy = values * 1.1
         assert nmse(values, noisy) == pytest.approx(nmse(values * scale, noisy * scale), rel=1e-6)
