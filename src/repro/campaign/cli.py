@@ -11,7 +11,10 @@
   committed baseline (``--check``);
 * ``golden`` — verify the committed golden-trace fixtures (``tests/golden/``)
   against fresh runs, or rewrite them with ``--update`` after an intentional
-  numerical change (:mod:`repro.golden`).
+  numerical change (:mod:`repro.golden`);
+* ``backends`` — list the array backends with availability and bit-identity
+  probe status (available / degraded-to-numpy / per-kernel rejections), for
+  debugging silent numpy fallback.
 
 Every command exits non-zero on failure; ``sweep`` exits non-zero if any cell
 failed (the remaining cells still run and persist), ``perf --check`` exits
@@ -221,9 +224,21 @@ def cmd_perf(args: argparse.Namespace) -> int:
             print(f"  {name:<40} {speedup:5.2f}x vs seed")
 
     if args.check:
+        from repro.perf import check_derived_floors  # noqa: PLC0415
+
         with open(args.check, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
         regressions = check_regressions(results, baseline, max_regression=args.max_regression)
+        # Derived floors are ratios between rows of *this* run (same host by
+        # construction), so they gate unconditionally — unlike cross-host
+        # median comparisons.  Metrics absent on this host are skipped.
+        floor_failures = check_derived_floors(document.get("derived", {}))
+        if floor_failures:
+            for metric, value, floor in floor_failures:
+                print(
+                    f"PERF FLOOR {metric}: {value:.2f}x below required {floor:.2f}x",
+                    file=sys.stderr,
+                )
         same_host = hosts_match(baseline)
         if not same_host and not args.quiet:
             print(
@@ -246,6 +261,42 @@ def cmd_perf(args: argparse.Namespace) -> int:
                 return 2
         elif not args.quiet:
             print(f"no regressions vs {args.check} (margin {args.max_regression:.0%})")
+        if floor_failures:
+            return 2
+    return 0
+
+
+def cmd_backends(args: argparse.Namespace) -> int:
+    # Imported lazily for symmetry with the other subcommands.
+    from repro.tensorlib.backend import (  # noqa: PLC0415
+        BACKEND_ENV_VAR,
+        describe_backends,
+        get_backend,
+    )
+
+    infos = describe_backends(probe=not args.no_probe)
+    print(
+        format_table(
+            ("backend", "installed", "status", "detail"),
+            [
+                (info.name, "yes" if info.installed else "no", info.status, info.detail)
+                for info in infos
+            ],
+        )
+    )
+    if not args.no_probe:
+        for info in infos:
+            if info.name == "numpy" or not info.kernels:
+                continue
+            print(f"\n{info.name} kernels:")
+            for kernel, note in sorted(info.kernels.items()):
+                print(f"  {kernel:<20} {note}")
+    active = get_backend()
+    origin = f"${BACKEND_ENV_VAR}" if os.environ.get(BACKEND_ENV_VAR) else "default"
+    suffix = ""
+    if active.fallback_from:
+        suffix = f" (requested {active.fallback_from!r}: {active.fallback_reason})"
+    print(f"\nactive backend: {active.name} [{origin}]{suffix}")
     return 0
 
 
@@ -261,7 +312,11 @@ def cmd_golden(args: argparse.Namespace) -> int:
         golden.regenerate(args.dir, progress=progress)
         return 0
 
-    drifted = golden.verify(args.dir, rtol=args.rtol)
+    try:
+        drifted = golden.verify(args.dir, rtol=args.rtol, only=args.only)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
     if drifted:
         for name, diffs in drifted.items():
             print(golden.format_diff(name, diffs), file=sys.stderr)
@@ -269,7 +324,8 @@ def cmd_golden(args: argparse.Namespace) -> int:
     if not args.quiet:
         directory = args.dir or golden.DEFAULT_GOLDEN_DIR
         how = "bit-identically" if args.rtol == 0.0 else f"within rtol={args.rtol:g}"
-        print(f"all {len(golden.GOLDEN_METHODS)} golden traces match {directory} {how}")
+        count = len(args.only) if args.only else len(golden.GOLDEN_METHODS)
+        print(f"all {count} golden traces match {directory} {how}")
     return 0
 
 
@@ -368,9 +424,19 @@ def build_parser() -> argparse.ArgumentParser:
                       dest="max_regression",
                       help="allowed fractional slowdown for --check (default 0.25)")
     perf.add_argument("--only", nargs="+", default=None,
-                      help="subset of benchmark groups (train_step codec engine campaign)")
+                      help="subset of benchmark groups (train_step train_step_scaling codec "
+                           "engine campaign im2col pool fused_norm backend_sweep)")
     perf.add_argument("--quiet", action="store_true")
     perf.set_defaults(func=cmd_perf)
+
+    backends = sub.add_parser(
+        "backends",
+        help="list array backends with availability and bit-identity probe status",
+    )
+    backends.add_argument("--no-probe", action="store_true", dest="no_probe",
+                          help="only check library availability; skip construction "
+                               "(numba JIT compilation + probes)")
+    backends.set_defaults(func=cmd_backends)
 
     golden = sub.add_parser("golden", help="verify or regenerate golden-trace fixtures")
     golden.add_argument("--update", action="store_true",
@@ -380,6 +446,9 @@ def build_parser() -> argparse.ArgumentParser:
     golden.add_argument("--rtol", type=float, default=0.0,
                         help="relative tolerance for verification "
                              "(default 0.0 = bit-identical)")
+    golden.add_argument("--only", nargs="+", default=None, metavar="METHOD",
+                        help="verify only these golden methods "
+                             "(default: all of them)")
     golden.add_argument("--quiet", action="store_true")
     golden.set_defaults(func=cmd_golden)
     return parser

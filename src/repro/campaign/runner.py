@@ -119,6 +119,25 @@ def _execute_cell_in_worker(payload: Tuple[int, CampaignCell]):
     return _execute_cell(payload)
 
 
+def _worker_init(backend_names: Sequence[str]) -> None:
+    """Pool-worker initializer: warm the backend cache.
+
+    Constructing a backend by name is where JIT compilation and the
+    bit-identity probes happen; warming the process-level cache here means a
+    worker pays that cost once at startup instead of once per cell (cells
+    resolve their ``config.backend`` through the same cache).
+    """
+    from repro.tensorlib.backend import shared_backend  # noqa: PLC0415
+
+    for name in backend_names:
+        try:
+            shared_backend(name)
+        except KeyError:
+            # An unknown backend name fails loudly inside the cell itself,
+            # where the error is captured on its CellOutcome.
+            pass
+
+
 def default_jobs() -> int:
     """Worker count for ``jobs=None``: one per CPU, capped at 8."""
     return max(1, min(8, os.cpu_count() or 1))
@@ -185,8 +204,17 @@ def run_campaign(
         workers = min(default_jobs() if jobs is None else max(1, jobs), len(pending))
         pool = None
         if workers > 1:
+            # Every distinct backend the pending cells name is constructed in
+            # the worker initializer, so per-worker JIT warmup happens once.
+            backend_names = sorted(
+                {cell.config.backend for _, cell in pending if cell.config.backend}
+            )
             try:
-                pool = multiprocessing.Pool(processes=workers)
+                pool = multiprocessing.Pool(
+                    processes=workers,
+                    initializer=_worker_init,
+                    initargs=(backend_names,),
+                )
             except (OSError, ImportError):
                 # No usable multiprocessing (restricted sandboxes); run inline.
                 pool = None

@@ -11,9 +11,11 @@ the event engine, the optimiser — fails loudly with a readable field-by-field
 diff instead of silently shifting the paper's figures.
 
 The frozen grid is deliberately tiny (a 4-rank MLP run of a few iterations per
-method) so the whole golden suite re-trains in well under a second; it covers
-the five methods of the paper's evaluation plus one composed codec spec, which
-together exercise every wire payload and both aggregation paths.
+method, plus one 2-rank mini-ResNet cell) so the whole golden suite re-trains
+in seconds; it covers the five methods of the paper's evaluation plus one
+composed codec spec — together exercising every wire payload and both
+aggregation paths — and one convolutional cell that pins the conv/pool/norm
+kernel stack accelerated backends route through.
 
 Regenerate fixtures after an *intentional* numerical change with::
 
@@ -63,14 +65,45 @@ GOLDEN_CONFIG = ExperimentConfig(
     seed=0,
 )
 
+#: A convolutional golden cell: a 2-rank mini-ResNet run exercising the whole
+#: conv/pool/batch-norm kernel stack — the im2col gather, the overlapping
+#: col2im scatter-add (stride-2 3x3 convs), pooling window reductions and
+#: batch-norm statistics — none of which the MLP cells touch.  This is the
+#: cell that pins accelerated backends: it must pass bit-identically under
+#: ``REPRO_BACKEND=numba``.
+GOLDEN_CONV_CONFIG = ExperimentConfig(
+    model="resnet18",
+    dataset="cifar10",
+    cluster=ClusterSpec(world_size=2, bandwidth="100Mbps"),
+    epochs=2,
+    batch_size=4,
+    dataset_samples=16,
+    image_size=8,
+    pretrain_iterations=1,
+    max_iterations_per_epoch=2,
+    seed=0,
+)
+
 #: The frozen methods: the paper's five plus one composed codec spec (which
-#: exercises sparse + ternary payload composition through the gather path).
+#: exercises sparse + ternary payload composition through the gather path)
+#: and the convolutional cell above.
 GOLDEN_METHODS: Dict[str, MethodSpec] = {
     **PAPER_METHODS,
     "topk0.01+terngrad": MethodSpec(
         name="topk0.01+terngrad", compressor="topk0.01+terngrad"
     ),
+    "conv-all-reduce": MethodSpec(name="conv-all-reduce", compressor="allreduce"),
 }
+
+#: Per-method config overrides; anything absent runs under GOLDEN_CONFIG.
+GOLDEN_CONFIGS: Dict[str, ExperimentConfig] = {
+    "conv-all-reduce": GOLDEN_CONV_CONFIG,
+}
+
+
+def golden_config_for(method_name: str) -> ExperimentConfig:
+    """The frozen config one golden method runs under."""
+    return GOLDEN_CONFIGS.get(method_name, GOLDEN_CONFIG)
 
 #: Scalar result fields frozen in every fixture, in diff-report order.
 TRACE_FIELDS: Tuple[str, ...] = (
@@ -100,7 +133,7 @@ def compute_trace(
     method: MethodSpec, config: Optional[ExperimentConfig] = None
 ) -> Dict:
     """Run one golden cell and distil the result into a frozen trace dict."""
-    config = config or GOLDEN_CONFIG
+    config = config or golden_config_for(method.name)
     result = run_experiment(config, method)
     return trace_from_result(result, method, config)
 
@@ -246,15 +279,25 @@ def regenerate(directory: Optional[str] = None, progress=None) -> List[str]:
     return paths
 
 
-def verify(directory: Optional[str] = None, rtol: float = 0.0) -> Dict[str, List[str]]:
-    """Re-run every golden cell against its fixture.
+def verify(
+    directory: Optional[str] = None,
+    rtol: float = 0.0,
+    only: Optional[List[str]] = None,
+) -> Dict[str, List[str]]:
+    """Re-run every golden cell (or the ``only`` subset) against its fixture.
 
     Returns ``{method_name: [diff lines]}`` for the methods that drifted
     (missing fixtures report as a single diff line); empty dict means every
     trace is still bit-identical.
     """
+    if only is not None:
+        unknown = sorted(set(only) - set(GOLDEN_METHODS))
+        if unknown:
+            raise KeyError(f"unknown golden methods: {', '.join(unknown)}")
     drifted: Dict[str, List[str]] = {}
     for name, method in GOLDEN_METHODS.items():
+        if only is not None and name not in only:
+            continue
         try:
             expected = load_fixture(name, directory)
         except FileNotFoundError as error:

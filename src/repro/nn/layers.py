@@ -15,6 +15,7 @@ import numpy as np
 from repro.nn.batched import active_world
 from repro.nn.module import Module, Parameter
 from repro.tensorlib import Tensor, functional as F, init
+from repro.tensorlib.backend import get_backend
 
 
 class Identity(Module):
@@ -146,16 +147,19 @@ class BatchNorm2d(Module):
             param_shape = (1, self.num_features, 1, 1)
         if self.training and x.dtype == np.float32:
             # Float32 fast path: one fused graph node with the analytic
-            # batch-norm backward.  The float64 path below keeps the composite
-            # formulation so its results stay bit-identical to the historical
-            # behaviour.
-            batch_mean = x.data.mean(axis=axes)
-            centered = x.data - batch_mean.reshape(param_shape)
-            batch_var = np.mean(centered * centered, axis=axes)
-            self._update_running_stats(batch_mean, batch_var)
+            # batch-norm backward.  The statistics are computed once through
+            # the backend kernel, folded into the running buffers, and handed
+            # to fused_norm so the activations are only traversed once.  The
+            # float64 path below keeps the composite formulation so its
+            # results stay bit-identical to the historical behaviour.
+            stats = get_backend().fused_norm_stats(x.data, axes, self.eps)
+            stat_shape = (-1,) if not batched else (self.weight.shape[0], -1)
+            self._update_running_stats(
+                stats[0].reshape(stat_shape), stats[1].reshape(stat_shape)
+            )
             return F.fused_norm(
                 x, self.weight, self.bias, axes=axes, eps=self.eps,
-                param_shape=param_shape,
+                param_shape=param_shape, stats=stats,
             )
         if self.training:
             mean = x.mean(axis=axes, keepdims=True)

@@ -14,7 +14,15 @@ are reported alongside):
 * ``engine/event_loop`` — the discrete-event engine scheduling many buckets
   over heterogeneous ranks;
 * ``campaign/dispatch`` — campaign cell expansion plus content-address
-  fingerprinting (the runner's per-cell dispatch overhead, no training).
+  fingerprinting (the runner's per-cell dispatch overhead, no training);
+* ``im2col/<backend>``, ``pool/<backend>``, ``fused_norm/<backend>`` — the
+  routed hot kernels of the backend seam, one row per backend whose library is
+  importable and whose probes accepted it (numpy always measures; its row is
+  the reference the derived ``*_numba_speedup_vs_numpy`` metrics divide by);
+* ``campaign/backend_sweep/<backend>`` — wall-clock of a small conv campaign
+  pinned to each available backend through the ``backend`` campaign axis,
+  demonstrating that backend selection moves end-to-end campaign time, not
+  just microbenchmarks.
 
 ``run_suite`` returns results keyed by benchmark name; ``write_report`` emits
 the ``BENCH_perf.json`` document and ``check_regressions`` compares a run
@@ -278,6 +286,149 @@ def bench_campaign_dispatch(quick: bool) -> BenchResult:
     )
 
 
+def _kernel_backends():
+    """The backends to measure kernel rows for: numpy plus every optional
+    backend whose library imports *and* whose construction did not degrade.
+
+    Resolved through the process cache so numba's JIT compilation and probes
+    are paid once across the three kernel benchmark groups.
+    """
+    from repro.tensorlib.backend import available_backends, shared_backend  # noqa: PLC0415
+
+    backends = []
+    for name in available_backends():
+        backend = shared_backend(name)
+        if backend.name == name:
+            backends.append((name, backend))
+    return backends
+
+
+def bench_im2col(quick: bool) -> List[BenchResult]:
+    """The im2col patch gather (conv/pool forward + transposed-conv grad)."""
+    repeats, warmup = (9, 2) if quick else (25, 5)
+    n, c = (4, 8) if quick else (16, 16)
+    hp = wp = 34
+    kernel, stride = (3, 3), (1, 1)
+    out_hw = (hp - 3 + 1, wp - 3 + 1)
+    rng = np.random.default_rng(0)
+    padded = rng.standard_normal((n, c, hp, wp))
+    meta = {"n": n, "c": c, "hp": hp, "wp": wp, "k": 3, "stride": 1}
+    results = []
+    for name, backend in _kernel_backends():
+        results.append(
+            time_callable(
+                lambda backend=backend: backend.im2col_gather(padded, kernel, stride, out_hw),
+                name=f"im2col/{name}",
+                repeats=repeats,
+                warmup=warmup,
+                meta=meta,
+            )
+        )
+    return results
+
+
+def bench_pool(quick: bool) -> List[BenchResult]:
+    """Pooling window reductions (max with argmax, mean) over im2col windows."""
+    repeats, warmup = (9, 2) if quick else (25, 5)
+    flat = 512 if quick else 2048
+    length, k = 64, 9
+    rng = np.random.default_rng(1)
+    cols = rng.standard_normal((flat, length, k))
+    meta = {"flat": flat, "length": length, "k": k}
+    results = []
+    for name, backend in _kernel_backends():
+
+        def reduce_windows(backend=backend) -> None:
+            backend.pool_reduce(cols, "max")
+            backend.pool_reduce(cols, "mean")
+
+        results.append(
+            time_callable(
+                reduce_windows,
+                name=f"pool/{name}",
+                repeats=repeats,
+                warmup=warmup,
+                meta=meta,
+            )
+        )
+    return results
+
+
+def bench_fused_norm(quick: bool) -> List[BenchResult]:
+    """Fused LayerNorm statistics + backward over the last axis (float32)."""
+    repeats, warmup = (9, 2) if quick else (25, 5)
+    shape = (32, 64, 256) if quick else (128, 197, 256)
+    axes = (len(shape) - 1,)
+    rng = np.random.default_rng(2)
+    data = rng.standard_normal(shape).astype(np.float32)
+    grad = rng.standard_normal(shape).astype(np.float32)
+    w = rng.standard_normal(shape[-1]).astype(np.float32)
+    meta = {"rows": shape[0] * shape[1], "dim": shape[-1]}
+    results = []
+    for name, backend in _kernel_backends():
+
+        def norm_roundtrip(backend=backend) -> None:
+            _, _, inv_std, x_hat = backend.fused_norm_stats(data, axes, 1e-5)
+            backend.fused_norm_backward(grad, w, x_hat, inv_std, axes)
+
+        results.append(
+            time_callable(
+                norm_roundtrip,
+                name=f"fused_norm/{name}",
+                repeats=repeats,
+                warmup=warmup,
+                meta=meta,
+            )
+        )
+    return results
+
+
+def bench_backend_sweep(quick: bool) -> List[BenchResult]:
+    """End-to-end campaign wall-clock per backend (the ``backend`` axis).
+
+    Each row trains the same tiny 2-rank conv campaign with its cells pinned
+    to one backend via ``ExperimentConfig.backend`` — the exact mechanism a
+    real sweep's ``backend`` axis uses — so the rows show whether a backend
+    moves campaign time where the north-star workload lives.
+    """
+    from repro.campaign.runner import run_campaign  # noqa: PLC0415
+    from repro.campaign.spec import CampaignSpec  # noqa: PLC0415
+
+    repeats, warmup = (3, 1) if quick else (5, 1)
+    results = []
+    for name, _ in _kernel_backends():
+        spec = CampaignSpec(
+            name=f"perf-backend-sweep-{name}",
+            base={
+                "model": "resnet18",
+                "epochs": 1,
+                "batch_size": 4,
+                "dataset_samples": 16,
+                "image_size": 8,
+                "pretrain_iterations": 0,
+                "max_iterations_per_epoch": 2,
+                "world_size": 2,
+                "bandwidth": "100Mbps",
+                "backend": name,
+            },
+            axes={"seed": [0, 1], "method": ["all-reduce", "topk-0.01"]},
+        )
+
+        def sweep(spec=spec) -> None:
+            run_campaign(spec, store=None, jobs=1, recompute=True)
+
+        results.append(
+            time_callable(
+                sweep,
+                name=f"campaign/backend_sweep/{name}",
+                repeats=repeats,
+                warmup=warmup,
+                meta={"cells": float(len(spec.expand()))},
+            )
+        )
+    return results
+
+
 #: name -> factory returning one result or a list of results.
 SUITE: Dict[str, Callable[[bool], object]] = {
     "train_step": bench_train_step,
@@ -285,6 +436,10 @@ SUITE: Dict[str, Callable[[bool], object]] = {
     "codec": bench_codec,
     "engine": bench_engine,
     "campaign": bench_campaign_dispatch,
+    "im2col": bench_im2col,
+    "pool": bench_pool,
+    "fused_norm": bench_fused_norm,
+    "backend_sweep": bench_backend_sweep,
 }
 
 
@@ -340,7 +495,39 @@ def _derived_metrics(results: Dict[str, BenchResult]) -> Dict[str, float]:
     looped = results.get("train_step/float64/resnet18/w16/looped")
     if batched and looped and batched.median_s > 0:
         derived["train_step_batched_speedup_vs_looped_w16"] = looped.median_s / batched.median_s
+    # Per-kernel and end-to-end backend speedups vs the numpy reference row.
+    # Metrics only appear when both rows were measured (i.e. the accelerated
+    # backend's library is installed and its probes accepted it).
+    for group, metric in (
+        ("im2col", "im2col_numba_speedup_vs_numpy"),
+        ("pool", "pool_numba_speedup_vs_numpy"),
+        ("fused_norm", "fused_norm_numba_speedup_vs_numpy"),
+        ("campaign/backend_sweep", "campaign_backend_sweep_numba_speedup_vs_numpy"),
+    ):
+        reference = results.get(f"{group}/numpy")
+        accelerated = results.get(f"{group}/numba")
+        if reference and accelerated and accelerated.median_s > 0:
+            derived[metric] = reference.median_s / accelerated.median_s
     return derived
+
+
+#: Minimum values the derived metrics must reach when present: the numba
+#: im2col gather is the headline JIT win this seam exists for, so a measured
+#: run where it is not at least 1.5x the numpy reference fails ``--check``.
+#: Absent metrics (numba not installed on the measuring host) are skipped.
+DERIVED_FLOORS: Dict[str, float] = {
+    "im2col_numba_speedup_vs_numpy": 1.5,
+}
+
+
+def check_derived_floors(derived: Dict[str, float]) -> List[Tuple[str, float, float]]:
+    """``(metric, value, floor)`` for every present derived metric below its floor."""
+    failures: List[Tuple[str, float, float]] = []
+    for metric, floor in DERIVED_FLOORS.items():
+        value = derived.get(metric)
+        if value is not None and value < floor:
+            failures.append((metric, float(value), floor))
+    return failures
 
 
 def write_report(

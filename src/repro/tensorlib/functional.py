@@ -25,9 +25,13 @@ world-batched float64 result is bit-identical per rank to the looped kernels;
 the one exception is :func:`dropout`, which draws a single batched mask (a
 different RNG consumption pattern than one draw per rank).
 
-Contractions and the ``col2im`` scatter-add route through the active
-:mod:`repro.tensorlib.backend`, whose numpy reference defines the summation
-order accelerated backends must reproduce.
+Every hot kernel routes through the active :mod:`repro.tensorlib.backend` —
+the contractions, the ``im2col`` patch gather (and with it the transposed-conv
+input-gradient correlation), the ``col2im`` scatter-add, the pooling window
+reductions and the fused-norm statistics — whose numpy reference defines the
+summation order accelerated backends must reproduce.  Both the looped and
+world-batched execution paths funnel through these functions, so routing here
+covers both.
 """
 
 from __future__ import annotations
@@ -89,15 +93,8 @@ def im2col(
     out_h = (h + 2 * ph - kh) // sh + 1
     out_w = (w + 2 * pw - kw) // sw + 1
 
-    strides = padded.strides
-    view = np.lib.stride_tricks.as_strided(
-        padded,
-        shape=(n, c, out_h, out_w, kh, kw),
-        strides=(strides[0], strides[1], strides[2] * sh, strides[3] * sw, strides[2], strides[3]),
-        writeable=False,
-    )
-    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h * out_w, c * kh * kw)
-    return np.ascontiguousarray(cols), (out_h, out_w)
+    cols = get_backend().im2col_gather(padded, (kh, kw), (sh, sw), (out_h, out_w))
+    return cols, (out_h, out_w)
 
 
 def col2im(
@@ -340,10 +337,8 @@ def max_pool2d(x: Tensor, kernel_size=2, stride=None) -> Tensor:
 
     cols, _ = im2col(x.data.reshape(flat, 1, h, w), kernel_size, stride, (0, 0))
     cols = cols.reshape(flat, out_h * out_w, kh * kw)
-    argmax = cols.argmax(axis=2)
-    out_data = np.take_along_axis(cols, argmax[..., None], axis=2).reshape(
-        *lead, c, out_h, out_w
-    )
+    values, argmax = get_backend().pool_reduce(cols, "max")
+    out_data = values.reshape(*lead, c, out_h, out_w)
     if not _needs_graph(x):
         return Tensor._wrap(out_data)
 
@@ -371,7 +366,8 @@ def avg_pool2d(x: Tensor, kernel_size=2, stride=None) -> Tensor:
 
     cols, _ = im2col(x.data.reshape(flat, 1, h, w), kernel_size, stride, (0, 0))
     cols = cols.reshape(flat, out_h * out_w, kh * kw)
-    out_data = cols.mean(axis=2).reshape(*lead, c, out_h, out_w)
+    values, _ = get_backend().pool_reduce(cols, "mean")
+    out_data = values.reshape(*lead, c, out_h, out_w)
     if not _needs_graph(x):
         return Tensor._wrap(out_data)
     scale = 1.0 / (kh * kw)
@@ -404,6 +400,7 @@ def fused_norm(
     axes: Tuple[int, ...],
     eps: float,
     param_shape: Tuple[int, ...],
+    stats=None,
 ) -> Tensor:
     """Normalise ``x`` over ``axes`` and apply a learned scale/shift, fused.
 
@@ -416,15 +413,18 @@ def fused_norm(
     ``param_shape`` is the broadcast shape the raw ``weight``/``bias`` arrays
     take against ``x`` (e.g. ``(1, C, 1, 1)`` for BatchNorm2d, their own
     shape for LayerNorm); parameter gradients are unbroadcast from it.
+
+    ``stats`` accepts the ``(mean, var, inv_std, x_hat)`` tuple of
+    ``backend.fused_norm_stats`` when the caller already computed it (e.g.
+    ``BatchNorm2d``, which folds the same statistics into its running
+    averages), avoiding a second pass over the activations.
     """
     from repro.tensorlib.tensor import _unbroadcast  # noqa: PLC0415
 
-    data = x.data
-    mean = data.mean(axis=axes, keepdims=True)
-    centered = data - mean
-    var = np.mean(centered * centered, axis=axes, keepdims=True)
-    inv_std = 1.0 / np.sqrt(var + eps)
-    x_hat = centered * inv_std
+    backend = get_backend()
+    if stats is None:
+        stats = backend.fused_norm_stats(x.data, axes, eps)
+    _, _, inv_std, x_hat = stats
     w = weight.data.reshape(param_shape)
     out_data = x_hat * w + bias.data.reshape(param_shape)
 
@@ -441,10 +441,9 @@ def fused_norm(
                 _unbroadcast(grad * x_hat, param_shape).reshape(weight.shape), own=True
             )
         if x.requires_grad:
-            g_hat = grad * w
-            mean_g = g_hat.mean(axis=axes, keepdims=True)
-            mean_gx = (g_hat * x_hat).mean(axis=axes, keepdims=True)
-            x._accumulate(inv_std * (g_hat - mean_g - x_hat * mean_gx), own=True)
+            x._accumulate(
+                backend.fused_norm_backward(grad, w, x_hat, inv_std, axes), own=True
+            )
 
     return _make_output(out_data, parents, backward)
 

@@ -1,0 +1,499 @@
+"""Parity and routing tests for the backend seam's hot kernels.
+
+Three layers of guarantees:
+
+* the :class:`NumpyBackend` reference kernels (``im2col_gather``,
+  ``pool_reduce``, ``fused_norm_stats``/``fused_norm_backward``) agree with
+  naive loop/composite formulations across a hypothesis-driven
+  dtype × stride × padding × kernel-size grid;
+* every conv/pool/norm call site in ``functional.py``/``nn/layers.py`` —
+  looped *and* world-batched — actually routes through ``get_backend()``
+  (a recording backend proves it);
+* accelerated backends match the reference: numba bit-identically (float64
+  and float32), torch within float tolerance.  Both skip cleanly when the
+  library is absent — behaviour must never depend on what is installed.
+
+The selection machinery itself (warn-once degradation, the shared cache, the
+``backends`` CLI) is covered at the bottom.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensorlib import backend as B
+from repro.tensorlib import functional as F
+from repro.tensorlib.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def _restore_active_backend():
+    previous = B._ACTIVE
+    yield
+    B._ACTIVE = previous
+
+
+# --------------------------------------------------------------------------- #
+# Naive references
+# --------------------------------------------------------------------------- #
+def naive_im2col(padded, kernel, stride, out_hw):
+    n, c, _, _ = padded.shape
+    kh, kw = kernel
+    sh, sw = stride
+    oh, ow = out_hw
+    out = np.empty((n, oh * ow, c * kh * kw), dtype=padded.dtype)
+    for i in range(n):
+        for y in range(oh):
+            for x in range(ow):
+                patch = padded[i, :, y * sh : y * sh + kh, x * sw : x * sw + kw]
+                out[i, y * ow + x] = patch.reshape(-1)
+    return out
+
+
+def composite_norm_stats(data, axes, eps):
+    mean = data.mean(axis=axes, keepdims=True)
+    centered = data - mean
+    var = np.mean(centered * centered, axis=axes, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    return mean, var, inv_std, centered * inv_std
+
+
+def composite_norm_backward(grad, w, x_hat, inv_std, axes):
+    g_hat = grad * w
+    mean_g = g_hat.mean(axis=axes, keepdims=True)
+    mean_gx = (g_hat * x_hat).mean(axis=axes, keepdims=True)
+    return inv_std * (g_hat - mean_g - x_hat * mean_gx)
+
+
+def _parity_backends():
+    """(label, backend, exact) triples to run kernel parity against.
+
+    numpy always; numba (bit-identical contract) and torch (float tolerance)
+    only when importable and not degraded by their probes.
+    """
+    pairs = [("numpy", B.NumpyBackend(), True)]
+    for name, exact in (("numba", True), ("torch", False)):
+        try:
+            __import__(name)
+        except ImportError:
+            continue
+        backend = B.shared_backend(name)
+        if backend.name == name:
+            pairs.append((name, backend, exact))
+    return pairs
+
+
+PARITY_BACKENDS = _parity_backends()
+
+
+def _assert_matches(label, exact, actual, expected):
+    if exact:
+        assert np.array_equal(actual, expected), label
+    else:
+        np.testing.assert_allclose(actual, expected, rtol=1e-6, atol=1e-12, err_msg=label)
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis parity grid: dtype x stride x padding x kernel size
+# --------------------------------------------------------------------------- #
+@settings(max_examples=40, deadline=None)
+@given(
+    dtype=st.sampled_from([np.float64, np.float32]),
+    stride=st.sampled_from([(1, 1), (2, 2), (2, 1), (3, 3)]),
+    padding=st.sampled_from([(0, 0), (1, 1), (2, 0)]),
+    kernel=st.sampled_from([(1, 1), (2, 2), (3, 3), (3, 2)]),
+    n=st.integers(min_value=1, max_value=3),
+    c=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_im2col_gather_parity(dtype, stride, padding, kernel, n, c, seed):
+    rng = np.random.default_rng(seed)
+    kh, kw = kernel
+    ph, pw = padding
+    h = kh + 2  # always at least one window
+    w = kw + 3
+    images = rng.standard_normal((n, c, h, w)).astype(dtype)
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=dtype)
+    padded[:, :, ph : ph + h, pw : pw + w] = images
+    out_hw = (
+        (h + 2 * ph - kh) // stride[0] + 1,
+        (w + 2 * pw - kw) // stride[1] + 1,
+    )
+    expected = naive_im2col(padded, kernel, stride, out_hw)
+    for label, backend, exact in PARITY_BACKENDS:
+        _assert_matches(
+            f"im2col/{label}",
+            exact,
+            backend.im2col_gather(padded, kernel, stride, out_hw),
+            expected,
+        )
+    # The precomputed index plan (what the numba gather executes) must
+    # describe the same data movement — checked on every host, numba or not.
+    plan = B._gather_index_plan(c, padded.shape[2], padded.shape[3], kernel, stride, out_hw)
+    planned = padded.reshape(n, -1)[:, plan].reshape(expected.shape)
+    assert np.array_equal(planned, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    dtype=st.sampled_from([np.float64, np.float32]),
+    k=st.sampled_from([1, 4, 9, 16, 100]),
+    flat=st.integers(min_value=1, max_value=6),
+    length=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_pool_reduce_parity(dtype, k, flat, length, seed):
+    rng = np.random.default_rng(seed)
+    cols = rng.standard_normal((flat, length, k)).astype(dtype)
+    expected_max = cols.max(axis=2)
+    expected_arg = cols.argmax(axis=2)
+    expected_mean = cols.mean(axis=2)
+    for label, backend, exact in PARITY_BACKENDS:
+        values, argmax = backend.pool_reduce(cols, "max")
+        _assert_matches(f"pool-max/{label}", exact, values, expected_max)
+        assert np.array_equal(argmax, expected_arg), f"pool-argmax/{label}"
+        values, none = backend.pool_reduce(cols, "mean")
+        _assert_matches(f"pool-mean/{label}", exact, values, expected_mean)
+        assert none is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    dtype=st.sampled_from([np.float64, np.float32]),
+    dim=st.sampled_from([3, 8, 37, 200]),
+    rows=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_fused_norm_last_axis_parity(dtype, dim, rows, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((rows, dim)).astype(dtype)
+    grad = rng.standard_normal((rows, dim)).astype(dtype)
+    w = rng.standard_normal((dim,)).astype(dtype)
+    axes = (1,)
+    eps = 1e-5
+    expected = composite_norm_stats(data, axes, eps)
+    expected_gx = composite_norm_backward(grad, w, expected[3], expected[2], axes)
+    for label, backend, exact in PARITY_BACKENDS:
+        stats = backend.fused_norm_stats(data, axes, eps)
+        for field, actual, ref in zip(("mean", "var", "inv_std", "x_hat"), stats, expected):
+            assert actual.shape == ref.shape, f"norm-{field}/{label}"
+            _assert_matches(f"norm-{field}/{label}", exact, actual, ref)
+        gx = backend.fused_norm_backward(grad, w, stats[3], stats[2], axes)
+        _assert_matches(f"norm-backward/{label}", exact, gx, expected_gx)
+
+
+def test_fused_norm_batchnorm_axes_parity():
+    """Channel-style reductions (BatchNorm) work on every backend too."""
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((4, 3, 5, 5)).astype(np.float32)
+    grad = rng.standard_normal((4, 3, 5, 5)).astype(np.float32)
+    w = rng.standard_normal((1, 3, 1, 1)).astype(np.float32)
+    axes = (0, 2, 3)
+    expected = composite_norm_stats(data, axes, 1e-5)
+    expected_gx = composite_norm_backward(grad, w, expected[3], expected[2], axes)
+    for label, backend, exact in PARITY_BACKENDS:
+        stats = backend.fused_norm_stats(data, axes, 1e-5)
+        for actual, ref in zip(stats, expected):
+            _assert_matches(f"bn-stats/{label}", exact, actual, ref)
+        gx = backend.fused_norm_backward(grad, w, stats[3], stats[2], axes)
+        _assert_matches(f"bn-backward/{label}", exact, gx, expected_gx)
+
+
+def test_pool_reduce_rejects_unknown_op():
+    with pytest.raises(ValueError, match="pool_reduce"):
+        B.NumpyBackend().pool_reduce(np.zeros((1, 1, 4)), "median")
+
+
+# --------------------------------------------------------------------------- #
+# Call-site routing: every conv/pool/norm site goes through get_backend()
+# --------------------------------------------------------------------------- #
+class RecordingBackend(B.NumpyBackend):
+    """Reference numerics, but records which hot kernels were dispatched."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.calls = []
+
+    def im2col_gather(self, padded, kernel, stride, out_hw):
+        self.calls.append("im2col_gather")
+        return super().im2col_gather(padded, kernel, stride, out_hw)
+
+    def conv_weight_grad(self, grad_mat, cols):
+        self.calls.append("conv_weight_grad")
+        return super().conv_weight_grad(grad_mat, cols)
+
+    def col2im_scatter_add(self, padded, cols, sh, sw, out_h, out_w):
+        self.calls.append("col2im_scatter_add")
+        super().col2im_scatter_add(padded, cols, sh, sw, out_h, out_w)
+
+    def pool_reduce(self, cols, op):
+        self.calls.append(f"pool_reduce:{op}")
+        return super().pool_reduce(cols, op)
+
+    def fused_norm_stats(self, data, axes, eps):
+        self.calls.append("fused_norm_stats")
+        return super().fused_norm_stats(data, axes, eps)
+
+    def fused_norm_backward(self, grad, w, x_hat, inv_std, axes):
+        self.calls.append("fused_norm_backward")
+        return super().fused_norm_backward(grad, w, x_hat, inv_std, axes)
+
+
+class TestCallSiteRouting:
+    def _conv_roundtrip(self, world: bool):
+        rng = np.random.default_rng(0)
+        if world:
+            x = Tensor(rng.standard_normal((2, 2, 3, 8, 8)), requires_grad=True)
+            weight = Tensor(rng.standard_normal((2, 4, 3, 3, 3)), requires_grad=True)
+        else:
+            x = Tensor(rng.standard_normal((2, 3, 8, 8)), requires_grad=True)
+            weight = Tensor(rng.standard_normal((4, 3, 3, 3)), requires_grad=True)
+        out = F.conv2d(x, weight, stride=2, padding=1)
+        out.sum().backward()
+
+    @pytest.mark.parametrize("world", [False, True], ids=["looped", "batched"])
+    def test_conv_routes_gather_weight_grad_and_scatter(self, world):
+        recorder = B.set_backend(RecordingBackend())
+        self._conv_roundtrip(world)
+        assert "im2col_gather" in recorder.calls
+        assert "conv_weight_grad" in recorder.calls
+        # stride-2 3x3 conv: overlapping windows -> the backend scatter-add
+        assert "col2im_scatter_add" in recorder.calls
+
+    def test_conv_stride1_input_grad_routes_through_gather(self):
+        recorder = B.set_backend(RecordingBackend())
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)), requires_grad=True)
+        weight = Tensor(rng.standard_normal((4, 3, 3, 3)), requires_grad=True)
+        F.conv2d(x, weight, stride=1, padding=1).sum().backward()
+        # forward gather + the transposed-conv correlation's gather
+        assert recorder.calls.count("im2col_gather") >= 2
+
+    @pytest.mark.parametrize("world", [False, True], ids=["looped", "batched"])
+    def test_pooling_routes_reduce(self, world):
+        recorder = B.set_backend(RecordingBackend())
+        rng = np.random.default_rng(2)
+        shape = (2, 2, 3, 8, 8) if world else (2, 3, 8, 8)
+        x = Tensor(rng.standard_normal(shape), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        F.avg_pool2d(x, 2).sum().backward()
+        assert "pool_reduce:max" in recorder.calls
+        assert "pool_reduce:mean" in recorder.calls
+
+    @pytest.mark.parametrize("world", [False, True], ids=["looped", "batched"])
+    def test_fused_norm_routes_stats_and_backward(self, world):
+        recorder = B.set_backend(RecordingBackend())
+        rng = np.random.default_rng(3)
+        shape = (2, 4, 5, 16) if world else (4, 5, 16)
+        x = Tensor(rng.standard_normal(shape).astype(np.float32), requires_grad=True)
+        weight = Tensor(np.ones(16, dtype=np.float32), requires_grad=True)
+        bias = Tensor(np.zeros(16, dtype=np.float32), requires_grad=True)
+        param_shape = (1,) * (x.ndim - 1) + (16,)
+        out = F.fused_norm(x, weight, bias, axes=(x.ndim - 1,), eps=1e-5, param_shape=param_shape)
+        out.sum().backward()
+        assert "fused_norm_stats" in recorder.calls
+        assert "fused_norm_backward" in recorder.calls
+
+    @pytest.mark.parametrize("world", [False, True], ids=["looped", "batched"])
+    def test_batchnorm_layer_routes_stats_once(self, world):
+        from repro.nn.layers import BatchNorm2d  # noqa: PLC0415
+        from repro.nn.batched import replica_views  # noqa: PLC0415
+        from repro.tensorlib import default_dtype  # noqa: PLC0415
+
+        recorder = B.set_backend(RecordingBackend())
+        rng = np.random.default_rng(4)
+        with default_dtype("float32"):
+            layer = BatchNorm2d(3)
+            layer.train()
+            if world:
+                x = Tensor(rng.standard_normal((2, 4, 3, 6, 6)), requires_grad=True)
+                with replica_views(layer, world_size=2):
+                    out = layer(x)
+            else:
+                x = Tensor(rng.standard_normal((4, 3, 6, 6)), requires_grad=True)
+                out = layer(x)
+            out.sum().backward()
+        # Stats computed exactly once and shared with fused_norm (no repass).
+        assert recorder.calls.count("fused_norm_stats") == 1
+        assert "fused_norm_backward" in recorder.calls
+
+    def test_recording_backend_is_value_identical(self):
+        """Routing through the recorder must not change any numbers."""
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((2, 3, 8, 8))
+        kernels = rng.standard_normal((4, 3, 3, 3))
+
+        def run():
+            x = Tensor(data.copy(), requires_grad=True)
+            out = F.max_pool2d(F.conv2d(x, Tensor(kernels.copy()), stride=2, padding=1), 2)
+            out.sum().backward()
+            return out.data.copy(), np.array(x.grad, copy=True)
+
+        B.set_backend(B.NumpyBackend())
+        out_ref, grad_ref = run()
+        B.set_backend(RecordingBackend())
+        out_rec, grad_rec = run()
+        assert np.array_equal(out_ref, out_rec)
+        assert np.array_equal(grad_ref, grad_rec)
+
+
+# --------------------------------------------------------------------------- #
+# Numba: bit-identity across the grid + the conv golden
+# --------------------------------------------------------------------------- #
+def _numba_backend_or_skip():
+    pytest.importorskip("numba")
+    backend = B.shared_backend("numba")
+    if backend.name != "numba":
+        pytest.skip(f"numba present but degraded: {backend.fallback_reason}")
+    return backend
+
+
+class TestNumbaKernels:
+    def test_kernel_status_reports_jit(self):
+        backend = _numba_backend_or_skip()
+        status = backend.kernel_status()
+        for kernel in ("im2col_gather", "pool_reduce", "conv_weight_grad", "col2im_scatter_add"):
+            assert kernel in status
+
+    def test_gather_plan_cache_reused_and_capped(self):
+        backend = _numba_backend_or_skip()
+        if not backend._jit_gather_ok:
+            pytest.skip("gather kernel degraded on this host")
+        backend._gather_plans.clear()
+        rng = np.random.default_rng(0)
+        padded = rng.standard_normal((1, 2, 6, 6))
+        backend.im2col_gather(padded, (3, 3), (1, 1), (4, 4))
+        assert len(backend._gather_plans) == 1
+        backend.im2col_gather(padded, (3, 3), (1, 1), (4, 4))
+        assert len(backend._gather_plans) == 1  # reused, not re-planned
+        for size in range(backend._PLAN_CACHE_CAP + 2):
+            h = 6 + size
+            img = rng.standard_normal((1, 1, h, h))
+            backend.im2col_gather(img, (3, 3), (1, 1), (h - 2, h - 2))
+        assert len(backend._gather_plans) <= backend._PLAN_CACHE_CAP
+
+    def test_conv_golden_bit_identical_under_numba(self):
+        """The conv golden cell (resnet18) must not drift under numba."""
+        _numba_backend_or_skip()
+        from repro import golden  # noqa: PLC0415
+
+        expected = golden.load_fixture("conv-all-reduce")
+        with B.use_backend("numba"):
+            actual = golden.compute_trace(golden.GOLDEN_METHODS["conv-all-reduce"])
+        diffs = golden.compare_traces(expected, actual, rtol=0.0)
+        assert not diffs, golden.format_diff("conv-all-reduce (numba)", diffs)
+
+
+# --------------------------------------------------------------------------- #
+# Selection machinery: warn-once, recorded reasons, shared cache, CLI
+# --------------------------------------------------------------------------- #
+def _block_import(monkeypatch, module: str):
+    import builtins
+
+    real_import = builtins.__import__
+
+    def fake_import(name, *args, **kwargs):
+        if name == module or name.startswith(module + "."):
+            raise ImportError(f"{module} is not installed")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", fake_import)
+
+
+class TestDegradation:
+    def test_fallback_warns_exactly_once_per_process(self, monkeypatch, caplog):
+        _block_import(monkeypatch, "torch")
+        monkeypatch.setattr(B, "_FALLBACK_WARNED", set())
+        with caplog.at_level(logging.WARNING, logger="repro.tensorlib.backend"):
+            first = B.create_backend("torch")
+            second = B.create_backend("torch")
+        warnings = [r for r in caplog.records if "falling back to numpy" in r.message]
+        assert len(warnings) == 1
+        # ... but the reason is recorded on every degraded instance.
+        for backend in (first, second):
+            assert type(backend) is B.NumpyBackend
+            assert backend.fallback_from == "torch"
+            assert "not installed" in backend.fallback_reason
+
+    def test_distinct_backends_each_get_their_warning(self, monkeypatch, caplog):
+        _block_import(monkeypatch, "torch")
+        _block_import(monkeypatch, "cupy")
+        monkeypatch.setattr(B, "_FALLBACK_WARNED", set())
+        with caplog.at_level(logging.WARNING, logger="repro.tensorlib.backend"):
+            B.create_backend("torch")
+            B.create_backend("cupy")
+            B.create_backend("torch")
+        warnings = [r for r in caplog.records if "falling back to numpy" in r.message]
+        assert len(warnings) == 2
+
+    def test_shared_backend_caches_per_name(self, monkeypatch):
+        monkeypatch.setattr(B, "_SHARED", {})
+        first = B.shared_backend("numpy")
+        assert B.shared_backend("numpy") is first
+        # set_backend by name resolves through the same cache
+        assert B.set_backend("numpy") is first
+
+    def test_shared_backend_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            B.shared_backend("fortran")
+
+
+class TestDescribeBackends:
+    def test_reports_reference_and_missing(self, monkeypatch):
+        infos = {info.name: info for info in B.describe_backends(probe=False)}
+        assert set(infos) == set(B.KNOWN_BACKENDS)
+        assert infos["numpy"].status == "reference"
+        for name in ("numba", "torch", "cupy"):
+            info = infos[name]
+            if not info.installed:
+                assert info.status == "degraded-to-numpy"
+                assert "not installed" in info.detail
+
+    def test_probe_mode_reports_kernels_for_installed_backends(self):
+        for info in B.describe_backends(probe=True):
+            if info.status == "available":
+                assert info.kernels, info.name
+
+    def test_backends_cli_lists_every_known_backend(self, capsys):
+        from repro.campaign.cli import main  # noqa: PLC0415
+
+        assert main(["backends", "--no-probe"]) == 0
+        out = capsys.readouterr().out
+        for name in B.KNOWN_BACKENDS:
+            assert name in out
+        assert "active backend:" in out
+
+
+class TestCampaignBackendAxis:
+    def test_backend_axis_expands_and_runs(self, tmp_path):
+        from repro.campaign.runner import run_campaign  # noqa: PLC0415
+        from repro.campaign.spec import CampaignSpec  # noqa: PLC0415
+
+        spec = CampaignSpec(
+            name="backend-axis",
+            base={
+                "model": "mlp",
+                "epochs": 1,
+                "batch_size": 4,
+                "dataset_samples": 8,
+                "image_size": 8,
+                "pretrain_iterations": 0,
+                "max_iterations_per_epoch": 1,
+                "world_size": 2,
+            },
+            axes={"backend": ["numpy", None]},
+        )
+        cells = spec.expand()
+        assert [cell.config.backend for cell in cells] == ["numpy", None]
+        report = run_campaign(spec, store=None, jobs=1)
+        report.raise_failures()
+        results = report.results()
+        # Backend selection changes speed, never results: both cells train
+        # identically on this host.
+        assert results[0].final_accuracy == results[1].final_accuracy
+        assert results[0].simulated_time == results[1].simulated_time

@@ -58,7 +58,7 @@ def test_fixture_config_matches_the_frozen_golden_config():
         # defaulted spec field was added stay comparable without regeneration.
         assert (
             golden._canonical_spec(fixture["config"], ExperimentConfig)
-            == golden.GOLDEN_CONFIG.to_dict()
+            == golden.golden_config_for(name).to_dict()
         ), name
         assert (
             golden._canonical_spec(fixture["method_spec"], MethodSpec)
