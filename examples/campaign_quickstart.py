@@ -56,8 +56,9 @@ def main() -> None:
         spec,
         store=store,
         jobs=args.jobs,
-        progress=lambda outcome, done, total: print(
-            f"  [{done:2d}/{total}] {outcome.status:<6} {outcome.cell.label}"
+        progress=lambda p: print(
+            f"  [{p.done:2d}/{p.total}] {p.outcome.status:<6} {p.outcome.cell.label}"
+            + (f"  [{p.elapsed_s:.1f}s]" if not p.cache_hit else "")
         ),
     )
     report.raise_failures()

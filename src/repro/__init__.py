@@ -42,4 +42,5 @@ __all__ = [
     "metrics",
     "campaign",
     "perf",
+    "obs",
 ]

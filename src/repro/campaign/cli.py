@@ -14,12 +14,18 @@
   numerical change (:mod:`repro.golden`);
 * ``backends`` — list the array backends with availability and bit-identity
   probe status (available / degraded-to-numpy / per-kernel rejections), for
-  debugging silent numpy fallback.
+  debugging silent numpy fallback; ``--counters`` additionally runs a tiny
+  smoke step per backend and prints per-kernel call counts/time/bytes;
+* ``trace`` — consume a recorded observability trace (``run``/``sweep``
+  ``--trace PATH``): ``report`` prints the summary tables, ``validate``
+  checks the Chrome Trace Event structure, ``convert`` turns a raw JSONL
+  stream into a Chrome trace.
 
 Every command exits non-zero on failure; ``sweep`` exits non-zero if any cell
 failed (the remaining cells still run and persist), ``perf --check`` exits
 non-zero when a benchmark regressed beyond the allowed margin, ``golden``
-exits non-zero when any frozen trace drifted.
+exits non-zero when any frozen trace drifted, ``trace validate`` exits
+non-zero on structural errors.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
-from repro.campaign.runner import CampaignReport, CellOutcome, run_campaign
+from repro.campaign.runner import CampaignReport, Progress, run_campaign
 from repro.campaign.spec import CampaignSpec, build_cell, load_spec_file
 from repro.campaign.store import ResultStore
 
@@ -73,16 +79,60 @@ def _progress_printer(quiet: bool):
     if quiet:
         return None
 
-    def printer(outcome: CellOutcome, done: int, total: int) -> None:
+    def printer(progress: Progress) -> None:
+        outcome = progress.outcome
         detail = ""
         if outcome.result is not None:
             detail = (
                 f"  acc={outcome.result.final_accuracy:.3f}"
                 f"  time={outcome.result.simulated_time:.3f}s"
             )
-        print(f"[{done}/{total}] {outcome.status:<6} {outcome.cell.label}{detail}", flush=True)
+        timing = ""
+        if not progress.cache_hit:
+            timing = f"  [{progress.elapsed_s:.1f}s]"
+        if progress.eta_s and progress.done < progress.total:
+            timing += f"  eta~{progress.eta_s:.0f}s"
+        print(
+            f"[{progress.done}/{progress.total}] {outcome.status:<6} "
+            f"{outcome.cell.label}{detail}{timing}",
+            flush=True,
+        )
 
     return printer
+
+
+def _start_trace(path: Optional[str]) -> None:
+    """Enable the process tracer when ``--trace PATH`` was given."""
+    if not path:
+        return
+    from repro.obs import TRACER  # noqa: PLC0415
+
+    TRACER.enable(path=path, role="main")
+
+
+def _finish_trace(path: Optional[str], quiet: bool) -> None:
+    """Flush, export and summarise a trace started by :func:`_start_trace`."""
+    if not path:
+        return
+    from repro.obs import TRACER  # noqa: PLC0415
+    from repro.obs.export import load_events, summary, write_chrome  # noqa: PLC0415
+
+    paths = TRACER.finish()
+    if not paths["jsonl"]:
+        return
+    events = load_events(paths["jsonl"])
+    if paths["chrome"]:
+        write_chrome(events, paths["chrome"])
+    if not quiet:
+        print()
+        print(summary(events))
+        if paths["chrome"]:
+            print(
+                f"\ntrace: {paths['chrome']} (Chrome Trace Event JSON — open in "
+                f"https://ui.perfetto.dev); raw events: {paths['jsonl']}"
+            )
+        else:
+            print(f"\ntrace events: {paths['jsonl']}")
 
 
 # --------------------------------------------------------------------------- #
@@ -107,7 +157,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     cell = build_cell(overrides)
     store = ResultStore(args.store) if args.store else None
-    report = run_campaign([cell], store=store, jobs=1, progress=_progress_printer(args.quiet))
+    _start_trace(args.trace)
+    try:
+        report = run_campaign([cell], store=store, jobs=1, progress=_progress_printer(args.quiet))
+    finally:
+        _finish_trace(args.trace, args.quiet)
     report.raise_failures()
     result = report.outcomes[0].result
     if args.json:
@@ -140,13 +194,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     cells = spec.expand()
     print(f"campaign {spec.name!r}: {len(cells)} cells -> store {store_path}", flush=True)
 
-    report = run_campaign(
-        spec,
-        store=store,
-        jobs=args.jobs,
-        progress=_progress_printer(args.quiet),
-        recompute=args.recompute,
-    )
+    _start_trace(args.trace)
+    try:
+        report = run_campaign(
+            spec,
+            store=store,
+            jobs=args.jobs,
+            progress=_progress_printer(args.quiet),
+            recompute=args.recompute,
+        )
+    finally:
+        _finish_trace(args.trace, args.quiet)
     print(report.summary(), flush=True)
     for outcome in report.failures():
         print(f"FAILED {outcome.cell.label}:\n{outcome.error}", file=sys.stderr)
@@ -297,6 +355,64 @@ def cmd_backends(args: argparse.Namespace) -> int:
     if active.fallback_from:
         suffix = f" (requested {active.fallback_from!r}: {active.fallback_reason})"
     print(f"\nactive backend: {active.name} [{origin}]{suffix}")
+
+    if args.counters:
+        from repro.obs.instrument import backend_kernel_counters  # noqa: PLC0415
+
+        usage = backend_kernel_counters()
+        rows = []
+        for requested, entry in usage.items():
+            executed = entry["executed"]
+            label = requested if executed == requested else f"{requested}->{executed}"
+            for kernel, counters in sorted(
+                entry["kernels"].items(), key=lambda item: -item[1]["seconds"]
+            ):
+                rows.append(
+                    (
+                        label,
+                        kernel,
+                        f"{counters['calls']:g}",
+                        f"{counters['seconds'] * 1e3:.3f}",
+                        f"{counters['bytes'] / 1e6:.2f}",
+                    )
+                )
+        print("\nper-kernel usage of one tiny smoke step (forward+backward):")
+        print(format_table(("backend", "kernel", "calls", "time (ms)", "MB"), rows))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import (  # noqa: PLC0415
+        chrome_trace,
+        load_events,
+        summary,
+        validate_chrome_trace,
+        write_chrome,
+    )
+
+    if args.trace_command == "report":
+        print(summary(load_events(args.path)))
+        return 0
+
+    if args.trace_command == "convert":
+        document = write_chrome(load_events(args.path), args.out)
+        print(f"wrote {args.out} ({len(document['traceEvents'])} trace events)")
+        return 0
+
+    # validate: accept either a Chrome trace JSON or a raw JSONL stream
+    # (converted in memory first, so both artifacts are checkable).
+    if args.path.endswith(".jsonl"):
+        document = chrome_trace(load_events(args.path))
+    else:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    errors = validate_chrome_trace(document)
+    if errors:
+        for error in errors:
+            print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"{args.path}: valid ({len(document.get('traceEvents', []))} trace events)")
     return 0
 
 
@@ -312,11 +428,16 @@ def cmd_golden(args: argparse.Namespace) -> int:
         golden.regenerate(args.dir, progress=progress)
         return 0
 
+    # --trace doubles as the instrumentation no-drift gate: verification
+    # against the committed fixtures must stay bit-identical while traced.
+    _start_trace(args.trace)
     try:
         drifted = golden.verify(args.dir, rtol=args.rtol, only=args.only)
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
+    finally:
+        _finish_trace(args.trace, args.quiet)
     if drifted:
         for name, diffs in drifted.items():
             print(golden.format_diff(name, diffs), file=sys.stderr)
@@ -384,6 +505,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="extra axis override (repeatable), e.g. --set overlap=true")
     run.add_argument("--store", default=None, help="optional result store to cache into")
     run.add_argument("--json", action="store_true", help="print the full result as JSON")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="record an observability trace: Chrome Trace Event JSON at "
+                          "PATH (+ raw events at PATH.jsonl), or raw events only when "
+                          "PATH ends in .jsonl")
     run.add_argument("--quiet", action="store_true")
     run.set_defaults(func=cmd_run)
 
@@ -396,6 +521,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (1 = in-process; 0 = one per CPU)")
     sweep.add_argument("--recompute", action="store_true",
                        help="ignore cached results and retrain every cell")
+    sweep.add_argument("--trace", default=None, metavar="PATH",
+                       help="record an observability trace of the sweep (workers "
+                            "append to the same event stream; see run --trace)")
     sweep.add_argument("--quiet", action="store_true")
     sweep.set_defaults(func=cmd_sweep)
 
@@ -436,7 +564,27 @@ def build_parser() -> argparse.ArgumentParser:
     backends.add_argument("--no-probe", action="store_true", dest="no_probe",
                           help="only check library availability; skip construction "
                                "(numba JIT compilation + probes)")
+    backends.add_argument("--counters", action="store_true",
+                          help="run a tiny smoke step per available backend and print "
+                               "per-kernel call counts, elapsed time and bytes")
     backends.set_defaults(func=cmd_backends)
+
+    trace = sub.add_parser("trace", help="report on / validate a recorded trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_report = trace_sub.add_parser(
+        "report", help="print the summary tables of a trace (.jsonl event stream)")
+    trace_report.add_argument("path", help="raw event stream (PATH.jsonl of a --trace run)")
+    trace_report.set_defaults(func=cmd_trace)
+    trace_validate = trace_sub.add_parser(
+        "validate", help="check Chrome Trace Event structure (fields, nesting, order)")
+    trace_validate.add_argument("path", help="Chrome trace JSON, or .jsonl to convert first")
+    trace_validate.add_argument("--quiet", action="store_true")
+    trace_validate.set_defaults(func=cmd_trace)
+    trace_convert = trace_sub.add_parser(
+        "convert", help="convert a raw .jsonl event stream to Chrome trace JSON")
+    trace_convert.add_argument("path", help="raw event stream (.jsonl)")
+    trace_convert.add_argument("out", help="Chrome trace JSON destination")
+    trace_convert.set_defaults(func=cmd_trace)
 
     golden = sub.add_parser("golden", help="verify or regenerate golden-trace fixtures")
     golden.add_argument("--update", action="store_true",
@@ -449,6 +597,9 @@ def build_parser() -> argparse.ArgumentParser:
     golden.add_argument("--only", nargs="+", default=None, metavar="METHOD",
                         help="verify only these golden methods "
                              "(default: all of them)")
+    golden.add_argument("--trace", metavar="PATH", default=None,
+                        help="record an observability trace of the verification "
+                             "runs (tracing must not change the numbers)")
     golden.add_argument("--quiet", action="store_true")
     golden.set_defaults(func=cmd_golden)
     return parser

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, Union
@@ -28,14 +29,13 @@ import numpy as np
 
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import ResultStore
+from repro.obs.tracer import TRACER
 from repro.simulation.experiment import ExperimentResult, run_experiment
 
 #: Outcome statuses: freshly trained, served from the store, or errored.
 STATUS_RAN = "ran"
 STATUS_CACHED = "cached"
 STATUS_FAILED = "failed"
-
-ProgressCallback = Callable[["CellOutcome", int, int], None]
 
 
 @dataclass
@@ -48,6 +48,27 @@ class CellOutcome:
     status: str
     result: Optional[ExperimentResult] = None
     error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Progress:
+    """One settled cell, as reported to the progress callback.
+
+    ``elapsed_s`` is the cell's own training wall time (0 for cache hits);
+    ``eta_s`` is a rolling estimate of the remaining run time — mean elapsed
+    of the cells trained so far times the cells still pending, divided by
+    the worker count — and ``None`` until the first fresh cell lands.
+    """
+
+    outcome: CellOutcome
+    done: int
+    total: int
+    elapsed_s: float = 0.0
+    cache_hit: bool = False
+    eta_s: Optional[float] = None
+
+
+ProgressCallback = Callable[[Progress], None]
 
 
 @dataclass
@@ -94,16 +115,23 @@ class CampaignReport:
         )
 
 
-def _execute_cell(payload: Tuple[int, CampaignCell]) -> Tuple[int, Optional[ExperimentResult], Optional[str]]:
+def _execute_cell(
+    payload: Tuple[int, CampaignCell],
+) -> Tuple[int, Optional[ExperimentResult], Optional[str], float]:
     """Train one cell; never raises (returns the traceback instead).
 
-    Module-level so it pickles into pool workers.
+    Module-level so it pickles into pool workers.  The fourth element is the
+    cell's own wall time in seconds (measured here so pooled and in-process
+    execution report it identically).
     """
     index, cell = payload
+    start = time.perf_counter()
     try:
-        return index, run_experiment(cell.config, cell.method), None
+        with TRACER.span("campaign/cell", cat="campaign", label=cell.label):
+            result = run_experiment(cell.config, cell.method)
+        return index, result, None, time.perf_counter() - start
     except Exception:  # noqa: BLE001 - fail-soft per cell by design
-        return index, None, traceback.format_exc()
+        return index, None, traceback.format_exc(), time.perf_counter() - start
 
 
 def _execute_cell_in_worker(payload: Tuple[int, CampaignCell]):
@@ -116,17 +144,29 @@ def _execute_cell_in_worker(payload: Tuple[int, CampaignCell]):
     process (in-process execution must not clobber the caller's RNG state).
     """
     np.random.seed(payload[1].config.seed % (2**32))
-    return _execute_cell(payload)
+    outcome = _execute_cell(payload)
+    if TRACER.enabled:
+        # Workers have no clean shutdown hook; flushing a cumulative metric
+        # snapshot after every cell keeps the shared sink current (the
+        # exporter takes the last snapshot per process).
+        TRACER.flush_metrics()
+    return outcome
 
 
-def _worker_init(backend_names: Sequence[str]) -> None:
-    """Pool-worker initializer: warm the backend cache.
+def _worker_init(backend_names: Sequence[str], trace_sink: Optional[str] = None) -> None:
+    """Pool-worker initializer: warm the backend cache, join the trace sink.
 
     Constructing a backend by name is where JIT compilation and the
     bit-identity probes happen; warming the process-level cache here means a
     worker pays that cost once at startup instead of once per cell (cells
-    resolve their ``config.backend`` through the same cache).
+    resolve their ``config.backend`` through the same cache).  When the
+    parent is tracing, each worker enables its own tracer against the same
+    append-only JSONL sink — whole-line appends interleave safely, and the
+    worker's pid keeps its tracks distinct.
     """
+    if trace_sink is not None:
+        TRACER.enable(path=trace_sink, role="worker")
+
     from repro.tensorlib.backend import shared_backend  # noqa: PLC0415
 
     for name in backend_names:
@@ -167,7 +207,9 @@ def run_campaign(
         Pools of one worker, single-cell workloads, and platforms without
         multiprocessing support all fall back to in-process execution.
     progress:
-        ``callback(outcome, done, total)`` invoked once per settled cell.
+        ``callback(progress)`` invoked once per settled cell with a
+        :class:`Progress` (outcome, counts, per-cell elapsed, cache-hit
+        flag, rolling ETA).
     recompute:
         Ignore cache hits and retrain every cell (results still overwrite the
         store).
@@ -178,30 +220,62 @@ def run_campaign(
     total = len(cells)
     outcomes: List[Optional[CellOutcome]] = [None] * total
     done = 0
+    started = time.perf_counter()
 
-    def settle(outcome: CellOutcome) -> None:
-        nonlocal done
-        outcomes[outcome.index] = outcome
-        done += 1
-        if progress is not None:
-            progress(outcome, done, total)
-
-    # Cache pass: serve unchanged cells from the store.
+    # Cache pass: partition into served-from-store and pending cells.
+    cached_outcomes: List[CellOutcome] = []
     pending: List[Tuple[int, CampaignCell]] = []
     for index, cell in enumerate(cells):
         key = cell.fingerprint()
         cached = store.get_by_key(key) if (store is not None and not recompute) else None
         if cached is not None:
-            settle(CellOutcome(index=index, cell=cell, key=key, status=STATUS_CACHED, result=cached))
+            cached_outcomes.append(
+                CellOutcome(index=index, cell=cell, key=key, status=STATUS_CACHED, result=cached)
+            )
         else:
             pending.append((index, cell))
+
+    workers = min(default_jobs() if jobs is None else max(1, jobs), len(pending)) if pending else 1
+    pending_left = len(pending)
+    ran_elapsed: List[float] = []
+
+    if TRACER.enabled:
+        TRACER.metrics.inc("campaign.cache.hits", float(len(cached_outcomes)))
+        TRACER.metrics.inc("campaign.cache.misses", float(len(pending)))
+        TRACER.metrics.set_gauge("campaign.workers", float(workers))
+
+    def settle(outcome: CellOutcome, elapsed: float) -> None:
+        nonlocal done, pending_left
+        outcomes[outcome.index] = outcome
+        done += 1
+        cache_hit = outcome.status == STATUS_CACHED
+        if not cache_hit:
+            pending_left -= 1
+            if outcome.status == STATUS_RAN:
+                ran_elapsed.append(elapsed)
+        if TRACER.enabled:
+            TRACER.metrics.inc(f"campaign.cells.{outcome.status}")
+        eta: Optional[float] = None
+        if pending_left == 0:
+            eta = 0.0
+        elif ran_elapsed:
+            eta = sum(ran_elapsed) / len(ran_elapsed) * pending_left / workers
+        if progress is not None:
+            progress(
+                Progress(
+                    outcome=outcome, done=done, total=total,
+                    elapsed_s=elapsed, cache_hit=cache_hit, eta_s=eta,
+                )
+            )
+
+    for outcome in cached_outcomes:
+        settle(outcome, 0.0)
 
     # Execution pass: train pending cells, in a pool when it pays off.
     # ``imap`` yields in submission order, so outcomes settle and persist in
     # cell order as they stream in — the store file a parallel run writes is
     # identical to the serial one.
     if pending:
-        workers = min(default_jobs() if jobs is None else max(1, jobs), len(pending))
         pool = None
         if workers > 1:
             # Every distinct backend the pending cells name is constructed in
@@ -209,11 +283,12 @@ def run_campaign(
             backend_names = sorted(
                 {cell.config.backend for _, cell in pending if cell.config.backend}
             )
+            trace_sink = TRACER.sink_path if TRACER.enabled else None
             try:
                 pool = multiprocessing.Pool(
                     processes=workers,
                     initializer=_worker_init,
-                    initargs=(backend_names,),
+                    initargs=(backend_names, trace_sink),
                 )
             except (OSError, ImportError):
                 # No usable multiprocessing (restricted sandboxes); run inline.
@@ -222,21 +297,35 @@ def run_campaign(
             stream = (
                 pool.imap(_execute_cell_in_worker, pending) if pool else map(_execute_cell, pending)
             )
-            for (index, cell), (result_index, result, error) in zip(pending, stream):
+            for (index, cell), (result_index, result, error, elapsed) in zip(pending, stream):
                 assert index == result_index, "pool returned results out of order"
                 key = cell.fingerprint()
                 if error is not None:
                     settle(
-                        CellOutcome(index=index, cell=cell, key=key, status=STATUS_FAILED, error=error)
+                        CellOutcome(index=index, cell=cell, key=key, status=STATUS_FAILED, error=error),
+                        elapsed,
                     )
                     continue
                 if store is not None:
                     store.put(cell.config, cell.method, result)
-                settle(CellOutcome(index=index, cell=cell, key=key, status=STATUS_RAN, result=result))
+                settle(
+                    CellOutcome(index=index, cell=cell, key=key, status=STATUS_RAN, result=result),
+                    elapsed,
+                )
         finally:
             if pool is not None:
                 pool.close()
                 pool.join()
+
+    if TRACER.enabled:
+        # Utilization: fraction of the pool's capacity spent training.  With
+        # in-process execution this approaches 1; with a pool it exposes
+        # startup cost, stragglers and imbalance.
+        wall = time.perf_counter() - started
+        if ran_elapsed and wall > 0:
+            TRACER.metrics.set_gauge(
+                "campaign.worker_utilization", min(1.0, sum(ran_elapsed) / (workers * wall))
+            )
 
     report.outcomes = [outcome for outcome in outcomes if outcome is not None]
     return report

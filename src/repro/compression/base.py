@@ -28,6 +28,12 @@ from repro.compression.codec.payloads import (
 from repro.compression.codec.pipeline import Pipeline, as_pipeline
 from repro.compression.codec.stages import Codec, EncodeContext
 from repro.ddp.bucket import GradBucket
+from repro.obs.tracer import NULL_SPAN, TRACER
+
+#: With tracing enabled, lossy pipelines sample an exact-average NMSE every
+#: this many iterations per bucket (full exact averages every step would
+#: double the aggregation cost of the observed run).
+NMSE_SAMPLE_EVERY = 16
 
 __all__ = [
     "FP32_BYTES",
@@ -279,7 +285,14 @@ class CodecCompressor(Compressor):
             group=group,
             matrix=matrix,
         )
-        payloads = pipeline.encode_all(buffers, ctx)
+        # One guard read for the whole aggregation: when disabled, every span
+        # below is the shared NULL_SPAN and no span arguments are built.
+        traced = TRACER.enabled
+        with TRACER.span(
+            "codec/encode", cat="codec", bucket=bucket.index, spec=self.name
+        ) if traced else NULL_SPAN:
+            payloads = pipeline.encode_all(buffers, ctx)
+        wire_nbytes = max(payload.nbytes for payload in payloads) if traced else 0
 
         # Route on the pipeline's static property; the collective layer still
         # validates per-payload reducibility, so a stage that wrongly claims
@@ -294,27 +307,71 @@ class CodecCompressor(Compressor):
                         buffers[rank], pipeline.decode(payload), out=residual[rank],
                         casting="unsafe",
                     )
-            reduced = group.all_reduce(payloads, average=True)
-            result = pipeline.decode(reduced)
+            with TRACER.span(
+                "codec/reduce", cat="codec", bucket=bucket.index, bytes=int(wire_nbytes)
+            ) if traced else NULL_SPAN:
+                reduced = group.all_reduce(payloads, average=True)
+            with TRACER.span(
+                "codec/decode", cat="codec", bucket=bucket.index
+            ) if traced else NULL_SPAN:
+                result = pipeline.decode(reduced)
         else:
-            gathered = group.all_gather(payloads)
-            result = None
-            for rank, payload in enumerate(gathered):
-                decoded = pipeline.decode(payload)
-                if residual is not None:
-                    # The gathered payloads are per-rank copies of the local
-                    # ones, so the same decode serves both the average and the
-                    # residual update.
-                    np.subtract(buffers[rank], decoded, out=residual[rank], casting="unsafe")
-                if result is None:
-                    result = np.zeros(bucket.numel, dtype=decoded.dtype)
-                np.add(result, decoded, out=result)
-            result /= bucket.world_size
+            with TRACER.span(
+                "codec/gather", cat="codec", bucket=bucket.index, bytes=int(wire_nbytes)
+            ) if traced else NULL_SPAN:
+                gathered = group.all_gather(payloads)
+            with TRACER.span(
+                "codec/decode", cat="codec", bucket=bucket.index
+            ) if traced else NULL_SPAN:
+                result = None
+                for rank, payload in enumerate(gathered):
+                    decoded = pipeline.decode(payload)
+                    if residual is not None:
+                        # The gathered payloads are per-rank copies of the
+                        # local ones, so the same decode serves both the
+                        # average and the residual update.
+                        np.subtract(buffers[rank], decoded, out=residual[rank], casting="unsafe")
+                    if result is None:
+                        result = np.zeros(bucket.numel, dtype=decoded.dtype)
+                    np.add(result, decoded, out=result)
+                result /= bucket.world_size
 
         if residual is not None:
             self._residuals[bucket.index] = residual
         self._record(bucket, payloads, used_allgather=not reducible)
+        if traced and TRACER.enabled:
+            self._observe(bucket, buffers, result, wire_nbytes, iteration)
         return result
+
+    def _observe(
+        self,
+        bucket: GradBucket,
+        buffers: Sequence[np.ndarray],
+        result: np.ndarray,
+        wire_nbytes: float,
+        iteration: int,
+    ) -> None:
+        """Publish per-aggregation metrics (only called while tracing).
+
+        Everything here is read-only over the aggregation's inputs and
+        output, so an observed run stays bit-identical to an unobserved one.
+        The exact-average NMSE is sampled every :data:`NMSE_SAMPLE_EVERY`
+        iterations because it costs a full lossless aggregation.
+        """
+        metrics = TRACER.metrics
+        metrics.inc("codec.aggregations")
+        metrics.inc("codec.wire_bytes", float(wire_nbytes))
+        metrics.inc("codec.raw_bytes", float(bucket.numel * FP32_BYTES))
+        metrics.observe("codec.payload_bytes", float(wire_nbytes))
+        if not self.lossless and iteration % NMSE_SAMPLE_EVERY == 0:
+            from repro.metrics.nmse import nmse  # noqa: PLC0415
+
+            value = float(nmse(exact_average(list(buffers)), result))
+            metrics.observe("codec.nmse", value)
+            TRACER.instant(
+                "codec/nmse", cat="codec",
+                bucket=bucket.index, iteration=iteration, nmse=value, spec=self.name,
+            )
 
     def reset(self) -> None:
         super().reset()

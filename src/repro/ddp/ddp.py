@@ -38,6 +38,7 @@ from repro.comm.collectives import CollectiveEvent
 from repro.comm.process_group import ProcessGroup
 from repro.ddp.arena import GradientArena
 from repro.ddp.bucket import Bucket, GradBucket, build_buckets, DEFAULT_BUCKET_CAP_BYTES
+from repro.obs.tracer import TRACER
 from repro.ddp.hooks import CommHook, HookState, make_hook
 from repro.nn.batched import replica_views
 from repro.nn.module import Module
@@ -294,7 +295,11 @@ class DistributedDataParallel:
                 is_last=bucket.index == last_index,
             )
             events_before = len(group.events)
-            reduced = self._hook(self._hook_state, grad_bucket)
+            with TRACER.span(
+                "ddp/bucket_sync", cat="ddp",
+                bucket=bucket.index, numel=bucket.numel,
+            ):
+                reduced = self._hook(self._hook_state, grad_bucket)
             bucket_events.append(group.events[events_before:])
             del group.events[events_before:]
             aggregated.update(bucket.unflatten(self._ensure_flat(reduced, bucket)))

@@ -1,0 +1,270 @@
+"""Instrumentation adapters: the observed backend wrapper and sim-span emitters.
+
+Three pieces live here, all activated only while tracing is enabled:
+
+* :class:`ObservedBackend` wraps any array backend and times the routed hot
+  kernels (:data:`~repro.tensorlib.backend.HOT_KERNELS`): per-kernel call
+  counters, elapsed seconds, operand bytes, a latency histogram, and — when
+  bound to a tracer — one wall span per call.  Everything else forwards to
+  the wrapped backend untouched, so numerics are bit-identical.
+* :func:`install_backend_observer` plugs the wrapper into the single
+  ``get_backend()`` seam (``repro.tensorlib.backend._OBSERVER``); kernel
+  degradation and fallback diagnoses are emitted as instant events the first
+  time each backend instance is observed.
+* :func:`emit_simulated_iteration` converts one engine
+  :class:`~repro.simulation.engine.IterationTrace` into simulated-clock
+  spans: per-rank backward segments (one track per simulated rank),
+  per-bucket reduce windows + ready markers on the link-channel track, and
+  the iteration critical path on the schedule track.
+
+:func:`backend_kernel_counters` is the ``python -m repro backends
+--counters`` engine: it runs a tiny forward/backward smoke step per backend
+under a private registry (no global tracer state touched) and returns the
+per-kernel usage table.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SIM_CHANNEL_TID, SIM_SCHEDULE_TID
+
+__all__ = [
+    "ObservedBackend",
+    "install_backend_observer",
+    "uninstall_backend_observer",
+    "emit_simulated_iteration",
+    "backend_kernel_counters",
+]
+
+
+class ObservedBackend:
+    """A backend proxy that meters the hot kernels and forwards the rest.
+
+    The wrapper never re-implements a kernel — results come byte-for-byte
+    from the wrapped backend — so observing cannot change numerics, only
+    record where the wall time went.
+    """
+
+    def __init__(
+        self,
+        inner,
+        tracer=None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._inner = inner
+        self._tracer = tracer
+        self._registry = registry if registry is not None else MetricsRegistry()
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ObservedBackend({self._inner!r})"
+
+
+def _kernel_method(kernel: str):
+    def method(self: ObservedBackend, *args, **kwargs):
+        start = time.perf_counter()
+        result = getattr(self._inner, kernel)(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        nbytes = 0
+        for arg in args:
+            argbytes = getattr(arg, "nbytes", None)
+            if argbytes is not None:
+                nbytes += int(argbytes)
+        prefix = f"backend.{self._inner.name}.{kernel}"
+        registry = self._registry
+        registry.inc(prefix + ".calls")
+        registry.inc(prefix + ".seconds", elapsed)
+        registry.inc(prefix + ".bytes", float(nbytes))
+        registry.observe(f"backend.{kernel}.seconds", elapsed)
+        if self._tracer is not None:
+            self._tracer.emit_wall_span(
+                f"kernel/{kernel}", "backend", start, elapsed,
+                {"backend": self._inner.name, "bytes": nbytes},
+            )
+        return result
+
+    method.__name__ = kernel
+    return method
+
+
+def _install_kernel_methods() -> None:
+    from repro.tensorlib.backend import HOT_KERNELS  # noqa: PLC0415
+
+    for kernel in HOT_KERNELS:
+        setattr(ObservedBackend, kernel, _kernel_method(kernel))
+
+
+_install_kernel_methods()
+
+
+# --------------------------------------------------------------------------- #
+# The get_backend() seam
+# --------------------------------------------------------------------------- #
+_WRAPPERS: Dict[int, ObservedBackend] = {}
+
+
+def _emit_backend_diagnostics(tracer, backend) -> None:
+    """Instant events for fallback and per-kernel JIT probe outcomes."""
+    if getattr(backend, "fallback_from", None):
+        tracer.instant(
+            "backend/fallback", cat="backend",
+            backend=backend.name, requested=backend.fallback_from,
+            reason=getattr(backend, "fallback_reason", None) or "",
+        )
+    if backend.name == "numpy" and not getattr(backend, "fallback_from", None):
+        return
+    for kernel, note in sorted(backend.kernel_status().items()):
+        degraded = note.startswith("numpy")
+        tracer.instant(
+            "backend/kernel_probe", cat="backend",
+            backend=backend.name, kernel=kernel, note=note, degraded=degraded,
+        )
+
+
+def install_backend_observer(tracer) -> None:
+    """Route ``get_backend()`` through an :class:`ObservedBackend` wrapper."""
+    from repro.tensorlib import backend as backend_module  # noqa: PLC0415
+
+    def observe(active):
+        if isinstance(active, ObservedBackend):
+            return active
+        wrapper = _WRAPPERS.get(id(active))
+        if wrapper is None or wrapper._inner is not active:
+            wrapper = ObservedBackend(active, tracer=tracer, registry=tracer.metrics)
+            _WRAPPERS[id(active)] = wrapper
+            _emit_backend_diagnostics(tracer, active)
+        return wrapper
+
+    backend_module._OBSERVER = observe
+
+
+def uninstall_backend_observer() -> None:
+    from repro.tensorlib import backend as backend_module  # noqa: PLC0415
+
+    backend_module._OBSERVER = None
+    _WRAPPERS.clear()
+
+
+# --------------------------------------------------------------------------- #
+# Simulated-clock spans from one engine iteration
+# --------------------------------------------------------------------------- #
+def emit_simulated_iteration(
+    tracer,
+    base: float,
+    trace,
+    bucket_fractions: Sequence[float],
+    iteration: int,
+) -> None:
+    """Emit sim-clock spans for one :class:`IterationTrace` starting at ``base``.
+
+    ``base`` is the simulated time at which the iteration starts (the
+    timeline's total before this iteration was added); ``bucket_fractions``
+    are the cumulative completion fractions the engine scheduled with, so
+    each rank's backward splits into per-bucket segments exactly where the
+    engine declared the bucket's gradients ready.
+    """
+    for rank, total in enumerate(trace.per_rank_compute):
+        previous = 0.0
+        for index, fraction in enumerate(bucket_fractions):
+            end = total * fraction
+            tracer.sim_span(
+                f"backward b{index}", "sim", base + previous, end - previous,
+                rank, rank=rank, bucket=index, iteration=iteration,
+            )
+            previous = end
+        if not bucket_fractions:
+            tracer.sim_span(
+                "backward", "sim", base, total, rank, rank=rank, iteration=iteration
+            )
+    for bucket in trace.buckets:
+        tracer.instant(
+            f"ready b{bucket.index}", cat="sim", clock="sim",
+            ts=base + bucket.ready_time, tid=SIM_CHANNEL_TID,
+            bucket=bucket.index, iteration=iteration,
+        )
+        tracer.sim_span(
+            f"reduce b{bucket.index}", "sim",
+            base + bucket.start_time, bucket.end_time - bucket.start_time,
+            SIM_CHANNEL_TID,
+            bucket=bucket.index, iteration=iteration,
+            comm_seconds=bucket.comm_seconds, queue_delay=bucket.queue_delay,
+        )
+    tracer.sim_span(
+        f"iteration {iteration}", "sim", base, trace.wall_time, SIM_SCHEDULE_TID,
+        iteration=iteration, compute_span=trace.compute_span,
+        comm_busy=trace.comm_busy, overlap_saved=trace.overlap_saved,
+        straggler_slack=trace.straggler_slack,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# ``backends --counters`` smoke step
+# --------------------------------------------------------------------------- #
+def _smoke_step(batch: int, image_size: int, seed: int) -> None:
+    """One tiny conv forward/backward touching every routed hot kernel."""
+    import numpy as np  # noqa: PLC0415
+    from repro.nn import SGD  # noqa: PLC0415
+    from repro.nn.models import build_model  # noqa: PLC0415
+    from repro.tensorlib import Tensor, functional as F  # noqa: PLC0415
+
+    rng = np.random.default_rng(seed)
+    images = rng.standard_normal((batch, 3, image_size, image_size))
+    labels = rng.integers(0, 10, size=batch)
+    model = build_model("resnet18", num_classes=10, seed=seed)
+    optimizer = SGD(model.parameters(), lr=0.1)
+    model.zero_grad()
+    loss = F.cross_entropy(model(Tensor(images)), labels)
+    loss.backward()
+    optimizer.step()
+
+
+def backend_kernel_counters(
+    names: Optional[Sequence[str]] = None,
+    batch: int = 2,
+    image_size: int = 8,
+    seed: int = 0,
+) -> Dict[str, dict]:
+    """Per-kernel usage of a tiny smoke step, per backend.
+
+    Returns ``{requested_name: {"executed": actual_name, "kernels":
+    {kernel: {"calls", "seconds", "bytes"}}}}``.  Each backend runs under a
+    private registry and a scoped ``use_backend``, so the call leaves global
+    tracer/backend state untouched.  A backend whose library is missing
+    resolves to its numpy fallback — the counters then describe what
+    actually executed (``executed`` names it).
+    """
+    from repro.tensorlib.backend import (  # noqa: PLC0415
+        HOT_KERNELS,
+        available_backends,
+        shared_backend,
+        use_backend,
+    )
+
+    results: Dict[str, dict] = {}
+    for name in names if names is not None else available_backends():
+        try:
+            inner = shared_backend(name)
+        except KeyError:
+            continue
+        registry = MetricsRegistry()
+        wrapped = ObservedBackend(inner, tracer=None, registry=registry)
+        with use_backend(wrapped):
+            _smoke_step(batch, image_size, seed)
+        prefix = f"backend.{inner.name}."
+        kernels: Dict[str, Dict[str, float]] = {}
+        for kernel in HOT_KERNELS:
+            calls = registry.counters.get(f"{prefix}{kernel}.calls", 0.0)
+            if not calls:
+                continue
+            kernels[kernel] = {
+                "calls": calls,
+                "seconds": registry.counters.get(f"{prefix}{kernel}.seconds", 0.0),
+                "bytes": registry.counters.get(f"{prefix}{kernel}.bytes", 0.0),
+            }
+        results[name] = {"executed": inner.name, "kernels": kernels}
+    return results

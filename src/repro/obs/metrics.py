@@ -1,0 +1,136 @@
+"""Deterministic metrics registry: counters, gauges, log-bucket histograms.
+
+Subsystems publish into one :class:`MetricsRegistry` (usually the tracer's,
+see :mod:`repro.obs.tracer`).  Everything here is stdlib-only and
+deterministic by construction:
+
+* counters and gauges are plain floats keyed by name;
+* histograms use **fixed** log-scale bucket boundaries (quarter-decades from
+  1e-9 to 1e12, covering nanoseconds through gigabytes) computed once at
+  import — two processes observing the same values always produce the same
+  bucket counts, so histogram snapshots can be merged across workers and
+  compared across runs without tolerance fudging.
+
+Snapshots serialise to the same JSONL event stream as spans
+(``{"kind": "metric", ...}`` lines); the exporter takes the *last* snapshot
+per ``(pid, name)`` and aggregates across processes (counters sum, gauges
+last-write-wins, histogram buckets add).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["BUCKET_BOUNDS", "Histogram", "MetricsRegistry"]
+
+#: Fixed histogram bucket upper bounds: quarter-decade log scale, 1e-9..1e12
+#: (one scheme serves both latencies in seconds and payloads in bytes).
+#: Values above the last bound land in a final +inf overflow bucket.
+BUCKET_BOUNDS: tuple = tuple(10.0 ** (k / 4.0) for k in range(-36, 49))
+
+
+class Histogram:
+    """A fixed-bucket log-scale histogram (see :data:`BUCKET_BOUNDS`)."""
+
+    __slots__ = ("counts", "count", "sum")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_right(BUCKET_BOUNDS, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket holding rank q.
+
+        Exact enough for a summary table (buckets are a quarter-decade wide);
+        deterministic because the boundaries are.
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index >= len(BUCKET_BOUNDS):
+                    return float("inf")
+                return BUCKET_BOUNDS[index]
+        return BUCKET_BOUNDS[-1]
+
+    def to_buckets(self) -> List[List[object]]:
+        """Non-empty buckets as ``[upper_bound_or_"inf", count]`` pairs."""
+        out: List[List[object]] = []
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count:
+                bound = "inf" if index >= len(BUCKET_BOUNDS) else BUCKET_BOUNDS[index]
+                out.append([bound, bucket_count])
+        return out
+
+    def merge_buckets(self, buckets: Iterable[Iterable[object]]) -> None:
+        """Add a serialised bucket list (from :meth:`to_buckets`) into this one."""
+        for bound, bucket_count in buckets:
+            if bound == "inf":
+                index = len(BUCKET_BOUNDS)
+            else:
+                # The boundaries are computed identically everywhere, so the
+                # serialised bound is bit-equal to a member of BUCKET_BOUNDS.
+                index = bisect_right(BUCKET_BOUNDS, float(bound)) - 1
+                if index < 0 or BUCKET_BOUNDS[index] != float(bound):
+                    index = bisect_right(BUCKET_BOUNDS, float(bound))
+            self.counts[index] += int(bucket_count)
+
+
+class MetricsRegistry:
+    """Process-local metric store: counters, gauges and histograms by name."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------ #
+    def snapshot_events(self, pid: Optional[int] = None) -> List[dict]:
+        """Serialise the current state as metric event dicts (JSONL lines)."""
+        events: List[dict] = []
+        for name in sorted(self.counters):
+            events.append(
+                {"kind": "metric", "metric": "counter", "name": name,
+                 "value": self.counters[name], "pid": pid}
+            )
+        for name in sorted(self.gauges):
+            events.append(
+                {"kind": "metric", "metric": "gauge", "name": name,
+                 "value": self.gauges[name], "pid": pid}
+            )
+        for name in sorted(self.histograms):
+            histogram = self.histograms[name]
+            events.append(
+                {"kind": "metric", "metric": "histogram", "name": name,
+                 "count": histogram.count, "sum": histogram.sum,
+                 "buckets": histogram.to_buckets(), "pid": pid}
+            )
+        return events

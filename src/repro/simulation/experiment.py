@@ -25,6 +25,7 @@ from repro.ddp.bucket import DEFAULT_BUCKET_CAP_BYTES
 from repro.nn import SGD
 from repro.nn.models import build_model
 from repro.nn.module import Module
+from repro.obs.tracer import TRACER
 from repro.pruning import PruningMask, apply_gse, grasp_prune, magnitude_prune
 from repro.simulation.cluster import ClusterSpec
 from repro.simulation.engine import SimulationEngine
@@ -460,6 +461,10 @@ def train_distributed(
     compute_model = cluster.compute_model()
     engine = SimulationEngine(overlap=cluster.overlap)
     timeline = TrainingTimeline()
+    if TRACER.enabled:
+        # One simulated-cluster track group per training run, so sweeps
+        # never overlay two schedules on the same Perfetto tracks.
+        TRACER.new_sim_process(f"{method.name} world={world_size}")
 
     input_shape = train_dataset.input_shape
     sparsity_cache = sparsity_cache or _WeightSparsityCache()
@@ -496,39 +501,42 @@ def train_distributed(
             except StopIteration:
                 break
 
-            if execution == "batched" and DistributedDataParallel._stackable(batches):
-                images = np.stack([batch[0] for batch in batches])
-                labels = np.stack([np.asarray(batch[1]) for batch in batches])
-                per_rank_losses, grads = ddp.compute_batched_gradients(
-                    (images, labels), F.cross_entropy
-                )
-                if method.gse and mask is not None:
-                    # keep masks broadcast over the leading world axis:
-                    # (world, *shape) * (*shape) multiplies each rank's slice
-                    # exactly as the looped path does.
-                    grads = apply_gse(model, mask, grads=grads)
-                ddp.stage_world_gradients(grads)
-            else:
-                per_rank_losses = []
-                for rank, batch in enumerate(batches):
-                    # copy=False is safe because each rank's gradients are
-                    # staged into the arena before the next rank's backward
-                    # pass runs (GSE, when active, reads them in the same
-                    # window).
-                    loss_value, grads = ddp.compute_local_gradients(
-                        batch, F.cross_entropy, copy=False
+            with TRACER.span("train/backward", cat="train", epoch=epoch, iteration=iteration):
+                if execution == "batched" and DistributedDataParallel._stackable(batches):
+                    images = np.stack([batch[0] for batch in batches])
+                    labels = np.stack([np.asarray(batch[1]) for batch in batches])
+                    per_rank_losses, grads = ddp.compute_batched_gradients(
+                        (images, labels), F.cross_entropy
                     )
                     if method.gse and mask is not None:
+                        # keep masks broadcast over the leading world axis:
+                        # (world, *shape) * (*shape) multiplies each rank's
+                        # slice exactly as the looped path does.
                         grads = apply_gse(model, mask, grads=grads)
-                    ddp.stage_rank_gradients(rank, grads)
-                    per_rank_losses.append(loss_value)
+                    ddp.stage_world_gradients(grads)
+                else:
+                    per_rank_losses = []
+                    for rank, batch in enumerate(batches):
+                        # copy=False is safe because each rank's gradients are
+                        # staged into the arena before the next rank's backward
+                        # pass runs (GSE, when active, reads them in the same
+                        # window).
+                        loss_value, grads = ddp.compute_local_gradients(
+                            batch, F.cross_entropy, copy=False
+                        )
+                        if method.gse and mask is not None:
+                            grads = apply_gse(model, mask, grads=grads)
+                        ddp.stage_rank_gradients(rank, grads)
+                        per_rank_losses.append(loss_value)
 
-            aggregated, bucket_events = ddp.synchronize_staged()
-            ddp.apply_aggregated_gradients(aggregated)
-            optimizer.step()
-            if mask is not None:
-                # Guard against regrowth through momentum / weight decay.
-                mask.apply_to_weights(model)
+            with TRACER.span("train/sync", cat="train", epoch=epoch, iteration=iteration):
+                aggregated, bucket_events = ddp.synchronize_staged()
+            with TRACER.span("train/apply", cat="train", epoch=epoch, iteration=iteration):
+                ddp.apply_aggregated_gradients(aggregated)
+                optimizer.step()
+                if mask is not None:
+                    # Guard against regrowth through momentum / weight decay.
+                    mask.apply_to_weights(model)
 
             # Flat sums over the events in issue order — the same accumulation
             # order (and therefore the same floats) as the drained group log.
@@ -546,7 +554,19 @@ def train_distributed(
                 bucket_fractions,
                 per_bucket_seconds,
             )
+            sim_base = timeline.total_time
             timeline.add_iteration(trace.compute_span, comm_seconds, comm_bytes, trace=trace)
+            if TRACER.enabled:
+                # Simulated-clock tracks: per-rank backward segments, the
+                # link channel's per-bucket reduce windows, the iteration
+                # critical path.  The increment of the timeline total is
+                # exactly trace.wall_time, so iterations tile the sim axis.
+                from repro.obs.instrument import emit_simulated_iteration  # noqa: PLC0415
+
+                emit_simulated_iteration(
+                    TRACER, sim_base, trace, bucket_fractions, timeline.iterations - 1
+                )
+                TRACER.sim_now = timeline.total_time
             ddp.hook_state.iteration += 1
             epoch_losses.append(float(np.mean(per_rank_losses)))
             iteration += 1
@@ -576,7 +596,11 @@ def run_experiment(config: ExperimentConfig, method: MethodSpec) -> ExperimentRe
     even when the run raises.
     """
     with default_dtype(config.dtype), use_backend(config.backend):
-        return _run_experiment(config, method)
+        with TRACER.span(
+            "experiment", cat="experiment",
+            model=config.model, method=method.name, world=config.cluster.world_size,
+        ):
+            return _run_experiment(config, method)
 
 
 def _run_experiment(config: ExperimentConfig, method: MethodSpec) -> ExperimentResult:

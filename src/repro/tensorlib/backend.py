@@ -1012,11 +1012,20 @@ def _resolve_default() -> NumpyBackend:
     return shared_backend(name)
 
 
+#: Observation hook installed by :mod:`repro.obs` while tracing is enabled:
+#: a callable wrapping the active backend in a kernel-metering proxy.  This
+#: is the *single* disabled-path guard for backend instrumentation — one
+#: ``is not None`` check per ``get_backend()`` call.
+_OBSERVER = None
+
+
 def get_backend() -> NumpyBackend:
     """The process-wide active backend (lazily resolved from ``REPRO_BACKEND``)."""
     global _ACTIVE
     if _ACTIVE is None:
         _ACTIVE = _resolve_default()
+    if _OBSERVER is not None:
+        return _OBSERVER(_ACTIVE)
     return _ACTIVE
 
 

@@ -562,11 +562,22 @@ class TestRunner:
         spec = two_by_two_campaign()
         store = ResultStore(tmp_path / "store.jsonl")
         seen = []
-        run_campaign(spec, store=store, jobs=1,
-                     progress=lambda outcome, done, total: seen.append((outcome.status, done, total)))
-        assert [done for _, done, _ in seen] == [1, 2, 3, 4]
-        assert all(total == 4 for _, _, total in seen)
-        assert all(status == "ran" for status, _, _ in seen)
+        run_campaign(spec, store=store, jobs=1, progress=seen.append)
+        assert [p.done for p in seen] == [1, 2, 3, 4]
+        assert all(p.total == 4 for p in seen)
+        assert all(p.outcome.status == "ran" for p in seen)
+        # Fresh cells carry their own wall time and are not cache hits.
+        assert all(not p.cache_hit and p.elapsed_s > 0 for p in seen)
+        # The rolling ETA appears once the first trained cell lands and
+        # reaches exactly zero on the last one.
+        assert all(p.eta_s is not None for p in seen)
+        assert seen[-1].eta_s == 0.0
+
+        # A second identical run is all cache hits: flagged, zero elapsed.
+        again = []
+        run_campaign(spec, store=store, jobs=1, progress=again.append)
+        assert all(p.cache_hit and p.outcome.status == "cached" for p in again)
+        assert all(p.elapsed_s == 0.0 for p in again)
 
     def test_run_method_comparison_uses_store_and_cache(self, tmp_path):
         store = ResultStore(tmp_path / "store.jsonl")
