@@ -202,6 +202,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             progress=_progress_printer(args.quiet),
             recompute=args.recompute,
+            retries=args.retries,
+            cell_timeout=args.timeout,
         )
     finally:
         _finish_trace(args.trace, args.quiet)
@@ -521,6 +523,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (1 = in-process; 0 = one per CPU)")
     sweep.add_argument("--recompute", action="store_true",
                        help="ignore cached results and retrain every cell")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="max retries per cell for transient failures (worker "
+                            "deaths, runtime errors); deterministic errors are "
+                            "never retried (default: 2)")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-cell watchdog: a pooled cell running past this "
+                            "settles with status 'timeout' and its worker is "
+                            "recycled (default: no timeout)")
     sweep.add_argument("--trace", default=None, metavar="PATH",
                        help="record an observability trace of the sweep (workers "
                             "append to the same event stream; see run --trace)")

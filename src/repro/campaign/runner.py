@@ -10,20 +10,39 @@ produce bit-identical results; outcomes are committed to the store in cell
 order regardless of completion order, keeping the store file deterministic
 too.
 
-A failing cell never aborts the sweep: its traceback is captured on the
-:class:`CellOutcome` (status ``"failed"``) and the remaining cells keep
-running.  Callers that want the old fail-fast behaviour call
-:meth:`CampaignReport.raise_failures`.
+The runner is hardened against its own failures — large fault-study sweeps
+must survive the faults of the machine running them:
+
+* a failing cell never aborts the sweep: its traceback is captured on the
+  :class:`CellOutcome` (status ``"failed"``) and the rest keeps running
+  (callers wanting fail-fast call :meth:`CampaignReport.raise_failures`);
+* **transient** failures are retried with bounded exponential backoff and
+  deterministic jitter (derived from the cell fingerprint, so two runs of the
+  same sweep sleep identically); deterministic errors — ``ValueError`` and
+  friends, which re-running cannot fix — are never retried;
+* a **hung** worker is caught by the per-cell watchdog (``cell_timeout``):
+  the overdue cell settles with status ``"timeout"`` and the pool is recycled
+  so its workers come back; a **killed** worker (whose task would otherwise
+  never return) is detected by the pool's pid set changing, and its in-flight
+  cells are resubmitted against the retry budget.
+
+Chaos injection for tests and CI lives behind ``REPRO_CHAOS_MODE``
+(``raise`` / ``kill`` / ``hang``), scoped by ``REPRO_CHAOS_LABEL`` (substring
+of the cell label) and fired at most once when ``REPRO_CHAOS_DIR`` points at
+a marker directory.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import re
+import signal
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -32,10 +51,21 @@ from repro.campaign.store import ResultStore
 from repro.obs.tracer import TRACER
 from repro.simulation.experiment import ExperimentResult, run_experiment
 
-#: Outcome statuses: freshly trained, served from the store, or errored.
+#: Outcome statuses: freshly trained, served from the store, errored, or
+#: killed by the per-cell watchdog.
 STATUS_RAN = "ran"
 STATUS_CACHED = "cached"
 STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+
+#: Exception type names whose failures are deterministic: the same cell would
+#: fail the same way on every attempt, so retrying only burns time.
+DETERMINISTIC_ERRORS = frozenset(
+    {"ValueError", "TypeError", "KeyError", "AssertionError", "NotImplementedError"}
+)
+
+#: Retry backoff ceiling (seconds) — keeps the exponential bounded.
+MAX_RETRY_DELAY = 2.0
 
 
 @dataclass
@@ -48,6 +78,9 @@ class CellOutcome:
     status: str
     result: Optional[ExperimentResult] = None
     error: Optional[str] = None
+    #: Executions started for this cell (0 for cache hits, 1 for a clean
+    #: first run, >1 when the runner retried it).
+    attempts: int = 1
 
 
 @dataclass(frozen=True)
@@ -88,20 +121,28 @@ class CampaignReport:
 
     @property
     def failed(self) -> int:
-        return sum(1 for o in self.outcomes if o.status == STATUS_FAILED)
+        return sum(1 for o in self.outcomes if o.status in (STATUS_FAILED, STATUS_TIMEOUT))
+
+    @property
+    def retried(self) -> int:
+        """Cells that needed more than one execution."""
+        return sum(1 for o in self.outcomes if o.attempts > 1)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.name}: {len(self.outcomes)} cells — "
             f"ran={self.ran} cached={self.cached} failed={self.failed}"
         )
+        if self.retried:
+            text += f" retried={self.retried}"
+        return text
 
     def results(self) -> List[ExperimentResult]:
         """Successful results in cell order (cached and fresh alike)."""
         return [o.result for o in self.outcomes if o.result is not None]
 
     def failures(self) -> List[CellOutcome]:
-        return [o for o in self.outcomes if o.status == STATUS_FAILED]
+        return [o for o in self.outcomes if o.status in (STATUS_FAILED, STATUS_TIMEOUT)]
 
     def raise_failures(self) -> None:
         """Re-raise the first cell failure (with every failing label listed)."""
@@ -115,23 +156,65 @@ class CampaignReport:
         )
 
 
+# --------------------------------------------------------------------------- #
+# Chaos seam (tests / CI only; inert unless REPRO_CHAOS_MODE is set)
+# --------------------------------------------------------------------------- #
+def _chaos_inject(label: str) -> None:
+    """Optionally sabotage this cell, as configured by ``REPRO_CHAOS_*``.
+
+    ``REPRO_CHAOS_MODE`` picks the failure (``raise`` a transient error,
+    ``kill`` the worker process, ``hang`` it past any watchdog);
+    ``REPRO_CHAOS_LABEL`` scopes it to cells whose label contains the value;
+    ``REPRO_CHAOS_DIR`` arms it at most once per (mode, label) via an
+    atomically-created marker file — so a retried cell succeeds on its next
+    attempt, which is exactly what chaos tests assert.
+    """
+    mode = os.environ.get("REPRO_CHAOS_MODE")
+    if not mode:
+        return
+    wanted = os.environ.get("REPRO_CHAOS_LABEL", "")
+    if wanted and wanted not in label:
+        return
+    marker_dir = os.environ.get("REPRO_CHAOS_DIR")
+    if marker_dir:
+        os.makedirs(marker_dir, exist_ok=True)
+        token = re.sub(r"[^A-Za-z0-9_.-]", "_", f"{mode}-{wanted or 'any'}")
+        try:
+            fd = os.open(os.path.join(marker_dir, token), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.close(fd)
+        except FileExistsError:
+            return  # already fired once
+    if mode == "raise":
+        raise RuntimeError(f"chaos: injected transient failure in {label!r}")
+    if mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if mode == "hang":
+        time.sleep(3600.0)
+    raise RuntimeError(f"unknown REPRO_CHAOS_MODE {mode!r}")
+
+
 def _execute_cell(
     payload: Tuple[int, CampaignCell],
-) -> Tuple[int, Optional[ExperimentResult], Optional[str], float]:
+) -> Tuple[int, Optional[ExperimentResult], Optional[str], Optional[str], float]:
     """Train one cell; never raises (returns the traceback instead).
 
     Module-level so it pickles into pool workers.  The fourth element is the
-    cell's own wall time in seconds (measured here so pooled and in-process
-    execution report it identically).
+    exception *type name* (the retry policy's transience classifier), the
+    fifth the cell's own wall time in seconds (measured here so pooled and
+    in-process execution report it identically).
     """
     index, cell = payload
     start = time.perf_counter()
     try:
+        _chaos_inject(cell.label)
         with TRACER.span("campaign/cell", cat="campaign", label=cell.label):
             result = run_experiment(cell.config, cell.method)
-        return index, result, None, time.perf_counter() - start
-    except Exception:  # noqa: BLE001 - fail-soft per cell by design
-        return index, None, traceback.format_exc(), time.perf_counter() - start
+        return index, result, None, None, time.perf_counter() - start
+    except Exception as error:  # noqa: BLE001 - fail-soft per cell by design
+        return (
+            index, None, traceback.format_exc(), type(error).__name__,
+            time.perf_counter() - start,
+        )
 
 
 def _execute_cell_in_worker(payload: Tuple[int, CampaignCell]):
@@ -183,12 +266,44 @@ def default_jobs() -> int:
     return max(1, min(8, os.cpu_count() or 1))
 
 
+def _is_transient(error_type: Optional[str]) -> bool:
+    """Whether a failure with this exception type is worth retrying."""
+    return error_type not in DETERMINISTIC_ERRORS
+
+
+def retry_delay(failures: int, key: str, backoff: float) -> float:
+    """Backoff before retry number ``failures`` of the cell keyed ``key``.
+
+    Bounded exponential (``backoff * 2**(failures-1)``, capped at
+    :data:`MAX_RETRY_DELAY`) times a deterministic jitter factor in
+    ``[1, 2)`` derived from the cell fingerprint — cells of one sweep spread
+    out instead of thundering back together, and reruns sleep identically.
+    """
+    jitter = 1.0 + int(key[:8], 16) / float(0xFFFFFFFF)
+    return min(MAX_RETRY_DELAY, backoff * (2.0 ** (failures - 1))) * jitter
+
+
+@dataclass
+class _InFlight:
+    """One cell currently executing in the pool."""
+
+    position: int
+    index: int
+    cell: CampaignCell
+    attempts: int
+    handle: object
+    started: float
+
+
 def run_campaign(
     campaign: Union[CampaignSpec, Sequence[CampaignCell]],
     store: Optional[ResultStore] = None,
     jobs: Optional[int] = 1,
     progress: Optional[ProgressCallback] = None,
     recompute: bool = False,
+    retries: int = 2,
+    retry_backoff: float = 0.05,
+    cell_timeout: Optional[float] = None,
 ) -> CampaignReport:
     """Execute a campaign: expand, check the cache, train what is missing.
 
@@ -213,6 +328,20 @@ def run_campaign(
     recompute:
         Ignore cache hits and retrain every cell (results still overwrite the
         store).
+    retries:
+        Maximum retries per cell for *transient* failures (worker deaths,
+        injected chaos, runtime errors); deterministic errors
+        (:data:`DETERMINISTIC_ERRORS`) settle as failed immediately.  ``0``
+        disables retrying.
+    retry_backoff:
+        Base seconds of the exponential backoff between attempts (see
+        :func:`retry_delay`).
+    cell_timeout:
+        Per-cell watchdog in seconds: a pooled cell still running past it
+        settles with status ``"timeout"`` and the pool is recycled so the
+        hung worker cannot wedge the sweep.  ``None`` disables the watchdog;
+        in-process execution cannot be preempted, so the watchdog only
+        applies when a pool is running.
     """
     cells = campaign.expand() if isinstance(campaign, CampaignSpec) else list(campaign)
     name = campaign.name if isinstance(campaign, CampaignSpec) else "campaign"
@@ -230,7 +359,10 @@ def run_campaign(
         cached = store.get_by_key(key) if (store is not None and not recompute) else None
         if cached is not None:
             cached_outcomes.append(
-                CellOutcome(index=index, cell=cell, key=key, status=STATUS_CACHED, result=cached)
+                CellOutcome(
+                    index=index, cell=cell, key=key, status=STATUS_CACHED,
+                    result=cached, attempts=0,
+                )
             )
         else:
             pending.append((index, cell))
@@ -255,6 +387,8 @@ def run_campaign(
                 ran_elapsed.append(elapsed)
         if TRACER.enabled:
             TRACER.metrics.inc(f"campaign.cells.{outcome.status}")
+            if outcome.attempts > 1:
+                TRACER.metrics.inc("campaign.cells.retries", float(outcome.attempts - 1))
         eta: Optional[float] = None
         if pending_left == 0:
             eta = 0.0
@@ -272,9 +406,10 @@ def run_campaign(
         settle(outcome, 0.0)
 
     # Execution pass: train pending cells, in a pool when it pays off.
-    # ``imap`` yields in submission order, so outcomes settle and persist in
-    # cell order as they stream in — the store file a parallel run writes is
-    # identical to the serial one.
+    # Outcomes settle and persist in submission (= cell) order even though a
+    # pool completes them out of order: finished cells are buffered until
+    # every earlier pending cell has finished, so the store file a parallel
+    # run writes is identical to the serial one.
     if pending:
         pool = None
         if workers > 1:
@@ -284,33 +419,27 @@ def run_campaign(
                 {cell.config.backend for _, cell in pending if cell.config.backend}
             )
             trace_sink = TRACER.sink_path if TRACER.enabled else None
+            pool_args = dict(
+                processes=workers,
+                initializer=_worker_init,
+                initargs=(backend_names, trace_sink),
+            )
             try:
-                pool = multiprocessing.Pool(
-                    processes=workers,
-                    initializer=_worker_init,
-                    initargs=(backend_names, trace_sink),
-                )
+                pool = multiprocessing.Pool(**pool_args)
             except (OSError, ImportError):
                 # No usable multiprocessing (restricted sandboxes); run inline.
                 pool = None
         try:
-            stream = (
-                pool.imap(_execute_cell_in_worker, pending) if pool else map(_execute_cell, pending)
-            )
-            for (index, cell), (result_index, result, error, elapsed) in zip(pending, stream):
-                assert index == result_index, "pool returned results out of order"
-                key = cell.fingerprint()
-                if error is not None:
-                    settle(
-                        CellOutcome(index=index, cell=cell, key=key, status=STATUS_FAILED, error=error),
-                        elapsed,
-                    )
-                    continue
-                if store is not None:
-                    store.put(cell.config, cell.method, result)
-                settle(
-                    CellOutcome(index=index, cell=cell, key=key, status=STATUS_RAN, result=result),
-                    elapsed,
+            if pool is not None:
+                _run_pooled(
+                    pool, pool_args, pending, store, settle,
+                    retries=retries, retry_backoff=retry_backoff,
+                    cell_timeout=cell_timeout,
+                )
+                pool = None  # _run_pooled owns (and closed) the final pool
+            else:
+                _run_inline(
+                    pending, store, settle, retries=retries, retry_backoff=retry_backoff
                 )
         finally:
             if pool is not None:
@@ -329,3 +458,239 @@ def run_campaign(
 
     report.outcomes = [outcome for outcome in outcomes if outcome is not None]
     return report
+
+
+def _run_inline(
+    pending: Sequence[Tuple[int, CampaignCell]],
+    store: Optional[ResultStore],
+    settle: Callable[[CellOutcome, float], None],
+    retries: int,
+    retry_backoff: float,
+) -> None:
+    """Serial execution with the same retry policy as the pooled path."""
+    for index, cell in pending:
+        key = cell.fingerprint()
+        attempts = 0
+        elapsed_total = 0.0
+        while True:
+            attempts += 1
+            _, result, error, error_type, elapsed = _execute_cell((index, cell))
+            elapsed_total += elapsed
+            if error is None:
+                if store is not None:
+                    store.put(cell.config, cell.method, result, attempts=attempts)
+                settle(
+                    CellOutcome(
+                        index=index, cell=cell, key=key, status=STATUS_RAN,
+                        result=result, attempts=attempts,
+                    ),
+                    elapsed_total,
+                )
+                break
+            if attempts <= retries and _is_transient(error_type):
+                time.sleep(retry_delay(attempts, key, retry_backoff))
+                continue
+            settle(
+                CellOutcome(
+                    index=index, cell=cell, key=key, status=STATUS_FAILED,
+                    error=error, attempts=attempts,
+                ),
+                elapsed_total,
+            )
+            break
+
+
+def _pool_pids(pool) -> Optional[frozenset]:
+    """Worker pids of a multiprocessing pool (None if unavailable)."""
+    try:
+        return frozenset(worker.pid for worker in pool._pool)  # noqa: SLF001
+    except Exception:  # pragma: no cover - implementation detail shifted
+        return None
+
+
+def _run_pooled(
+    pool,
+    pool_args: dict,
+    pending: Sequence[Tuple[int, CampaignCell]],
+    store: Optional[ResultStore],
+    settle: Callable[[CellOutcome, float], None],
+    retries: int,
+    retry_backoff: float,
+    cell_timeout: Optional[float],
+) -> None:
+    """Watchdogged pool execution: dispatch, poll, retry, recycle.
+
+    The dispatch loop keeps up to ``processes`` cells in flight via
+    ``apply_async`` and polls for completion.  Three hazards are handled:
+
+    * a cell *fails* — retried after its backoff when transient and within
+      budget, settled as failed otherwise;
+    * a cell *hangs* past ``cell_timeout`` — settled with status
+      ``"timeout"`` and the pool recycled (terminate + fresh pool), because a
+      task abandoned inside ``Pool`` can never be cancelled individually;
+    * a *worker dies* (OOM-kill, crash, injected chaos) — its task would
+      never return, which the pid-set poll catches; every in-flight cell is
+      resubmitted with its attempt count bumped (the dead worker's cell is
+      unknowable, so all of them pay one attempt against the retry budget).
+    """
+    queue: Deque[Tuple[int, int, CampaignCell, int, float]] = deque(
+        (position, index, cell, 1, 0.0)
+        for position, (index, cell) in enumerate(pending)
+    )
+    in_flight: Dict[int, _InFlight] = {}
+    buffered: Dict[int, Tuple[CellOutcome, float]] = {}
+    next_commit = 0
+    keys = {position: cell.fingerprint() for position, (_, cell) in enumerate(pending)}
+    pids = _pool_pids(pool)
+
+    def commit_ready() -> None:
+        nonlocal next_commit
+        while next_commit in buffered:
+            outcome, elapsed = buffered.pop(next_commit)
+            if outcome.status == STATUS_RAN and store is not None:
+                store.put(
+                    outcome.cell.config, outcome.cell.method, outcome.result,
+                    attempts=outcome.attempts,
+                )
+            settle(outcome, elapsed)
+            next_commit += 1
+
+    def finish(position: int, flight: _InFlight, outcome: CellOutcome, elapsed: float) -> None:
+        buffered[position] = (outcome, elapsed)
+        commit_ready()
+
+    def recycle(timed_out: Optional[int]) -> None:
+        """Terminate the wedged pool, spawn a fresh one, resubmit in-flight."""
+        nonlocal pool, pids
+        pool.terminate()
+        pool.join()
+        pool = multiprocessing.Pool(**pool_args)
+        pids = _pool_pids(pool)
+        now = time.monotonic()
+        for position, flight in sorted(in_flight.items()):
+            if position == timed_out:
+                finish(
+                    position, flight,
+                    CellOutcome(
+                        index=flight.index, cell=flight.cell, key=keys[position],
+                        status=STATUS_TIMEOUT, attempts=flight.attempts,
+                        error=(
+                            f"cell exceeded watchdog timeout of {cell_timeout}s "
+                            f"(attempt {flight.attempts}); worker recycled"
+                        ),
+                    ),
+                    now - flight.started,
+                )
+            elif flight.attempts > retries:
+                finish(
+                    position, flight,
+                    CellOutcome(
+                        index=flight.index, cell=flight.cell, key=keys[position],
+                        status=STATUS_FAILED, attempts=flight.attempts,
+                        error=(
+                            "worker process died while executing this cell "
+                            f"(attempt {flight.attempts}/{retries + 1}); retry "
+                            "budget exhausted"
+                        ),
+                    ),
+                    now - flight.started,
+                )
+            else:
+                queue.append(
+                    (
+                        position, flight.index, flight.cell, flight.attempts + 1,
+                        now + retry_delay(flight.attempts, keys[position], retry_backoff),
+                    )
+                )
+        in_flight.clear()
+
+    try:
+        while queue or in_flight:
+            now = time.monotonic()
+            # Fill free slots with due cells (skip those still backing off).
+            for _ in range(len(queue)):
+                if len(in_flight) >= pool_args["processes"]:
+                    break
+                position, index, cell, attempts, not_before = queue[0]
+                if not_before > now:
+                    queue.rotate(-1)
+                    continue
+                queue.popleft()
+                handle = pool.apply_async(_execute_cell_in_worker, ((index, cell),))
+                in_flight[position] = _InFlight(
+                    position=position, index=index, cell=cell,
+                    attempts=attempts, handle=handle, started=now,
+                )
+
+            # Poll for completions.
+            completed = [
+                (position, flight)
+                for position, flight in sorted(in_flight.items())
+                if flight.handle.ready()
+            ]
+            for position, flight in completed:
+                del in_flight[position]
+                try:
+                    _, result, error, error_type, elapsed = flight.handle.get()
+                except Exception:  # noqa: BLE001 - unpicklable result etc.
+                    result, error, error_type, elapsed = (
+                        None, traceback.format_exc(), "PoolError",
+                        time.monotonic() - flight.started,
+                    )
+                if error is None:
+                    finish(
+                        position, flight,
+                        CellOutcome(
+                            index=flight.index, cell=flight.cell, key=keys[position],
+                            status=STATUS_RAN, result=result, attempts=flight.attempts,
+                        ),
+                        elapsed,
+                    )
+                elif flight.attempts <= retries and _is_transient(error_type):
+                    queue.append(
+                        (
+                            position, flight.index, flight.cell, flight.attempts + 1,
+                            time.monotonic()
+                            + retry_delay(flight.attempts, keys[position], retry_backoff),
+                        )
+                    )
+                else:
+                    finish(
+                        position, flight,
+                        CellOutcome(
+                            index=flight.index, cell=flight.cell, key=keys[position],
+                            status=STATUS_FAILED, error=error, attempts=flight.attempts,
+                        ),
+                        elapsed,
+                    )
+
+            if not in_flight and not queue:
+                break
+
+            # Watchdog: a cell past its deadline wedges its worker for good —
+            # settle it as timed out and recycle the pool.
+            if cell_timeout is not None and in_flight:
+                now = time.monotonic()
+                overdue = [
+                    position
+                    for position, flight in sorted(in_flight.items())
+                    if now - flight.started > cell_timeout
+                ]
+                if overdue:
+                    recycle(timed_out=overdue[0])
+                    continue
+
+            # Worker-death detection: a task on a killed worker never
+            # returns, but the pool's pid set changes when it respawns.
+            if in_flight:
+                current = _pool_pids(pool)
+                if pids is not None and current is not None and current != pids:
+                    recycle(timed_out=None)
+                    continue
+
+            if not completed:
+                time.sleep(0.01)
+    finally:
+        commit_ready()
+        pool.close()
+        pool.join()

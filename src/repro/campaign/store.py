@@ -20,6 +20,7 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -33,8 +34,11 @@ from repro.simulation.experiment import ExperimentConfig, ExperimentResult, Meth
 #: History: 2 — ``MethodSpec`` gained ``error_feedback`` (and the
 #: signsgd/powersgd compressor families changed what a spec string can mean),
 #: so records persisted by schema-1 stores are invalidated instead of being
-#: silently served for the extended cell space.
-RESULT_SCHEMA_VERSION = 2
+#: silently served for the extended cell space.  3 — ``ClusterSpec`` gained
+#: the ``faults`` axis (fault-injection scenarios), ``ExperimentResult``
+#: gained fault/recovery accounting, and records gained the runner's
+#: ``attempts`` count.
+RESULT_SCHEMA_VERSION = 3
 
 
 def _mean(values: Sequence[float]) -> float:
@@ -71,6 +75,9 @@ class StoredRecord:
     method: Dict
     result: ExperimentResult
     created: float = 0.0
+    #: Executions the campaign runner started before this result landed
+    #: (1 = clean first run; >1 = the cell was retried; 0 = unknown/legacy).
+    attempts: int = 1
 
     def axis(self, name: str):
         """Look up an axis value by name across result, config, cluster and method.
@@ -81,6 +88,8 @@ class StoredRecord:
         fields (``world_size``, ``overlap``, ``straggler`` ...), then method
         fields (``compressor``, ``pruning_ratio`` ...).
         """
+        if name == "attempts":
+            return self.attempts
         if hasattr(self.result, name):
             return getattr(self.result, name)
         if name in self.config:
@@ -114,6 +123,7 @@ class StoredRecord:
                 "key": self.key,
                 "schema": RESULT_SCHEMA_VERSION,
                 "created": self.created,
+                "attempts": self.attempts,
                 "config": self.config,
                 "method": self.method,
                 "result": self.result.to_dict(),
@@ -129,6 +139,7 @@ class StoredRecord:
             method=data["method"],
             result=ExperimentResult.from_dict(data["result"]),
             created=float(data.get("created", 0.0)),
+            attempts=int(data.get("attempts", 1)),
         )
 
 
@@ -173,10 +184,29 @@ class ResultStore:
                     # let the next append truncate the partial bytes away.
                     self._valid_bytes = len(data) - len(lines[-1].encode("utf-8"))
                     return
-                raise ValueError(
-                    f"corrupt result store {self.path!r} at line {line_number}: {error}"
-                ) from error
+                # Corrupt interior (or complete-but-bad final) line — e.g. a
+                # crashed writer raced another appender, or the file was
+                # hand-edited.  Losing one record must not take the whole
+                # sweep history with it: quarantine the bad line to
+                # ``<store>.corrupt`` for forensics, warn, and keep loading.
+                self._quarantine(line, line_number, error)
+                continue
             self._records[record.key] = record
+
+    def _quarantine(self, line: str, line_number: int, error: Exception) -> None:
+        """Preserve one unreadable store line in ``<path>.corrupt`` and warn."""
+        quarantine_path = f"{self.path}.corrupt"
+        try:
+            with open(quarantine_path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        except OSError:
+            quarantine_path = "<unwritable>"
+        warnings.warn(
+            f"result store {self.path!r}: skipping corrupt record at line "
+            f"{line_number} ({error}); bad line quarantined to {quarantine_path!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
     def _append(self, record: StoredRecord) -> None:
         if self.path is None:
@@ -217,8 +247,13 @@ class ResultStore:
         config: ExperimentConfig,
         method: MethodSpec,
         result: ExperimentResult,
+        attempts: int = 1,
     ) -> str:
-        """Persist one result; returns the cell fingerprint it is stored under."""
+        """Persist one result; returns the cell fingerprint it is stored under.
+
+        ``attempts`` records how many executions the campaign runner started
+        before this result landed (>1 means the cell was retried).
+        """
         key = cell_fingerprint(config, method)
         record = StoredRecord(
             key=key,
@@ -226,6 +261,7 @@ class ResultStore:
             method=method.to_dict(),
             result=result,
             created=time.time(),
+            attempts=attempts,
         )
         self._records[key] = record
         self._append(record)

@@ -26,7 +26,7 @@ from repro.compression.codec.payloads import (
     WirePayload,
 )
 from repro.compression.codec.pipeline import Pipeline, as_pipeline
-from repro.compression.codec.stages import Codec, EncodeContext
+from repro.compression.codec.stages import Codec, EncodeContext, remap_rank_rows
 from repro.ddp.bucket import GradBucket
 from repro.obs.tracer import NULL_SPAN, TRACER
 
@@ -114,6 +114,20 @@ class Compressor:
     def reset(self) -> None:
         """Clear statistics and any per-bucket state (error feedback, masks)."""
         self.stats = CompressionStats()
+
+    def resize_world(
+        self, old_ranks: Sequence[int], new_ranks: Sequence[int], policy: str = "carry"
+    ) -> None:
+        """Adapt per-rank state to an elastic membership change.
+
+        ``old_ranks``/``new_ranks`` are the global rank ids active before and
+        after the change, in the order their rows occupied the per-bucket
+        state matrices.  The base compressor keeps no per-rank state, so the
+        default is a no-op; :class:`CodecCompressor` remaps its
+        error-feedback residuals and forwards to every pipeline stage.
+        ``policy`` is ``"carry"`` (survivors keep their rows, newcomers start
+        from zero) or ``"zero"`` (everyone restarts).
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(name={self.name!r})"
@@ -377,6 +391,22 @@ class CodecCompressor(Compressor):
         super().reset()
         self.pipeline.reset()
         self._residuals.clear()
+
+    def resize_world(
+        self, old_ranks: Sequence[int], new_ranks: Sequence[int], policy: str = "carry"
+    ) -> None:
+        """Remap driver EF residuals and stage state to a new membership.
+
+        Row *i* of every per-bucket buffer belongs to global rank
+        ``old_ranks[i]``; after the resize it belongs to ``new_ranks[i]``.
+        ``"carry"`` preserves each surviving rank's accumulated residual
+        across the shrink/grow (a re-joining rank starts from zero — its
+        pre-crash residual described gradients of a model that has since
+        moved on); ``"zero"`` clears all compensation state.
+        """
+        remap_rank_rows(self._residuals, old_ranks, new_ranks, policy)
+        for stage in self.pipeline.stages:
+            stage.resize_world(old_ranks, new_ranks, policy)
 
     # ------------------------------------------------------------------ #
     def _record(

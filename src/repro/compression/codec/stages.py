@@ -18,7 +18,7 @@ context's process group so the cost model charges them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -83,6 +83,17 @@ class Codec:
     def reset(self) -> None:
         """Clear per-bucket state (error feedback, momentum, RNG)."""
 
+    def resize_world(
+        self, old_ranks: Sequence[int], new_ranks: Sequence[int], policy: str = "carry"
+    ) -> None:
+        """Adapt per-rank state to a membership change (default: nothing to do).
+
+        Stages whose per-bucket buffers are rank-indexed — one row per member
+        of the old active set — override this to remap rows onto the new
+        membership (see :func:`remap_rank_rows`).  Stateless stages and
+        stages whose state is shared across ranks ignore it.
+        """
+
     def spec(self) -> str:
         """Registry spec token for this stage (inverse of ``parse_codec_spec``)."""
         return self.name
@@ -141,6 +152,35 @@ def batched_top_k_indices(matrix: np.ndarray, k: int) -> np.ndarray:
     if k <= 0:
         return np.empty((rows, 0), dtype=np.int64)
     return np.argpartition(np.abs(matrix), numel - k, axis=1)[:, numel - k:]
+
+
+def remap_rank_rows(
+    state: Dict[int, np.ndarray],
+    old_ranks: Sequence[int],
+    new_ranks: Sequence[int],
+    policy: str = "carry",
+) -> None:
+    """Remap rank-indexed per-bucket matrices onto a new active membership.
+
+    ``state`` maps bucket index to a ``(len(old_ranks), numel)`` matrix whose
+    row *i* belongs to global rank ``old_ranks[i]``.  Under ``"carry"`` each
+    surviving rank keeps its row at its new position and newly-joined ranks
+    start from zeros (a re-joining worker has no residual history); under
+    ``"zero"`` every rank restarts from zeros.  Matrices whose row count does
+    not match ``old_ranks`` (stale buffers from before an earlier resize) are
+    zeroed rather than mis-attributed.
+    """
+    if policy not in ("carry", "zero"):
+        raise ValueError(f"policy must be 'carry' or 'zero', got {policy!r}")
+    old_position = {rank: i for i, rank in enumerate(old_ranks)}
+    for bucket_index, matrix in state.items():
+        resized = np.zeros((len(new_ranks), matrix.shape[1]), dtype=matrix.dtype)
+        if policy == "carry" and matrix.shape[0] == len(old_ranks):
+            for position, rank in enumerate(new_ranks):
+                source = old_position.get(rank)
+                if source is not None:
+                    resized[position] = matrix[source]
+        state[bucket_index] = resized
 
 
 # --------------------------------------------------------------------------- #
@@ -210,6 +250,11 @@ class TopK(Codec):
 
     def reset(self) -> None:
         self._residuals.clear()
+
+    def resize_world(
+        self, old_ranks: Sequence[int], new_ranks: Sequence[int], policy: str = "carry"
+    ) -> None:
+        remap_rank_rows(self._residuals, old_ranks, new_ranks, policy)
 
     def prepare(self, inputs: List[WirePayload], ctx: EncodeContext) -> None:
         matrix = _stacked_inputs(inputs, ctx, "TopK")
@@ -591,6 +636,12 @@ class DGCSelect(Codec):
     def reset(self) -> None:
         self._momentum.clear()
         self._accum.clear()
+
+    def resize_world(
+        self, old_ranks: Sequence[int], new_ranks: Sequence[int], policy: str = "carry"
+    ) -> None:
+        remap_rank_rows(self._momentum, old_ranks, new_ranks, policy)
+        remap_rank_rows(self._accum, old_ranks, new_ranks, policy)
 
     def _clip_rows(self, matrix: np.ndarray) -> np.ndarray:
         if self.clip_norm is None:

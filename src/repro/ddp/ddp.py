@@ -105,6 +105,11 @@ class DistributedDataParallel:
         #: Preallocated per-bucket (world_size, numel) gradient matrices,
         #: reused every iteration.
         self.arena = GradientArena(self.buckets, world_size, dtype=self.dtype)
+        #: Surviving membership under a fault scenario; ``None`` (default)
+        #: means the full healthy world and takes exactly the historical
+        #: synchronisation path.
+        self._active_ranks: Optional[List[int]] = None
+        self._active_group: Optional[ProcessGroup] = None
 
     # ------------------------------------------------------------------ #
     # Hook management
@@ -116,6 +121,65 @@ class DistributedDataParallel:
     @property
     def hook_state(self) -> HookState:
         return self._hook_state
+
+    # ------------------------------------------------------------------ #
+    # Elastic membership
+    # ------------------------------------------------------------------ #
+    @property
+    def active_ranks(self) -> List[int]:
+        """Global ids of the ranks currently participating in the reduce."""
+        if self._active_ranks is None:
+            return list(range(self.world_size))
+        return list(self._active_ranks)
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether synchronisation currently excludes any rank."""
+        return self._active_ranks is not None
+
+    def set_active_ranks(
+        self,
+        ranks: Optional[Sequence[int]],
+        process_group: Optional[ProcessGroup] = None,
+    ) -> None:
+        """Restrict gradient synchronisation to a surviving subset of ranks.
+
+        ``ranks`` is the sorted global membership collectives should run
+        over; dead ranks keep their arena rows (the buffers are
+        preallocated for the full world) but are excluded from staging and
+        from every reduce.  ``process_group`` optionally supplies a
+        degraded-world group — e.g. one costed with a fault plan's current
+        link factor — and defaults to a group of ``len(ranks)`` over this
+        wrapper's network model.  Passing ``None`` (or the full membership
+        with no explicit group) restores the healthy fast path, whose
+        synchronisation is bit-identical to a wrapper that was never
+        degraded.
+        """
+        if ranks is None:
+            self._active_ranks = None
+            self._active_group = None
+            self._hook_state.process_group = self.process_group
+            return
+        active = sorted(dict.fromkeys(int(r) for r in ranks))
+        if not active:
+            raise ValueError("active membership cannot be empty")
+        if active[0] < 0 or active[-1] >= self.world_size:
+            raise ValueError(
+                f"active ranks {active} outside world_size={self.world_size}"
+            )
+        if len(active) == self.world_size and process_group is None:
+            self.set_active_ranks(None)
+            return
+        self._active_ranks = active
+        self._active_group = process_group or ProcessGroup(
+            len(active), self.process_group.network
+        )
+        if self._active_group.world_size != len(active):
+            raise ValueError(
+                f"process_group world_size {self._active_group.world_size} does not "
+                f"match {len(active)} active ranks"
+            )
+        self._hook_state.process_group = self._active_group
 
     # ------------------------------------------------------------------ #
     # Training step
@@ -283,15 +347,29 @@ class DistributedDataParallel:
         return self.synchronize_staged()
 
     def synchronize_staged(self) -> Tuple[Dict[str, np.ndarray], List[List[CollectiveEvent]]]:
-        """Aggregate the gradients currently staged in the arena."""
-        group = self.process_group
+        """Aggregate the gradients currently staged in the arena.
+
+        Under a degraded membership (:meth:`set_active_ranks`) each bucket's
+        collective runs over the survivors only: the hook sees a
+        ``(len(active), numel)`` matrix of the surviving ranks' arena rows
+        and the degraded process group, so dead ranks contribute nothing to
+        the average and the cost model charges an ``len(active)``-way
+        collective.
+        """
+        active = self._active_ranks
+        group = self.process_group if active is None else self._active_group
         aggregated: Dict[str, np.ndarray] = {}
         bucket_events: List[List[CollectiveEvent]] = []
         last_index = len(self.buckets) - 1
         for bucket in self.buckets:
+            matrix = self.arena.matrix(bucket.index)
+            if active is not None:
+                # Fancy indexing copies the surviving rows out of the arena,
+                # so hooks never see (or alias) dead ranks' stale gradients.
+                matrix = matrix[active]
             grad_bucket = GradBucket(
                 bucket,
-                matrix=self.arena.matrix(bucket.index),
+                matrix=matrix,
                 is_last=bucket.index == last_index,
             )
             events_before = len(group.events)

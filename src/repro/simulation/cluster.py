@@ -17,7 +17,11 @@ Heterogeneity knobs (all optional):
 * ``overlap`` — schedule each gradient bucket's collective the moment its
   gradients are ready (the event-driven engine's per-bucket overlap model);
 * ``hierarchical`` — cost collectives per switch group over the Fig. 4
-  topology instead of through one flat bottleneck link.
+  topology instead of through one flat bottleneck link;
+* ``faults`` — a :class:`~repro.simulation.faults.FaultPlan` of rank
+  crashes/re-joins, time-varying link degradation and straggler churn,
+  interpreted on the simulated clock by the training driver.  ``None`` (the
+  default) is inert: runs are bit-identical to a faultless cluster.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.comm.network import CostModel, NetworkModel, PAPER_BANDWIDTHS
 from repro.comm.process_group import ProcessGroup
 from repro.comm.topology import ClusterTopology, build_paper_topology
 from repro.simulation.compute import ComputeModel, DeviceSpec
+from repro.simulation.faults import EMPTY_FAULT_PLAN, FaultPlan
 
 
 @dataclass
@@ -72,6 +77,21 @@ class ClusterSpec:
     #: Cost collectives hierarchically per switch group of the Fig. 4
     #: topology instead of over one flat bottleneck link.
     hierarchical: bool = False
+    #: Fault-injection scenario for this cluster, on the simulated clock.
+    #: ``None`` (default) is a healthy static cluster — bit-identical to the
+    #: pre-fault engine.  Accepts a :class:`~repro.simulation.faults.FaultPlan`,
+    #: a dict (``FaultPlan.from_dict``), or a compact grammar string::
+    #:
+    #:     crash:R@T          rank R dies at simulated time T
+    #:     rejoin:R@T         rank R re-joins at simulated time T
+    #:     link:F@T0-T1       link bandwidth x F in [T0, T1) (omit -T1: forever)
+    #:     churn:P[:F[:S]]    per-iteration straggler churn (prob P, factor F,
+    #:                        seed S), counter-based and seed-deterministic
+    #:     policy:carry|zero  EF-residual policy on membership change
+    #:
+    #: tokens comma-separated, e.g. ``"crash:3@0.5,rejoin:3@2.0,link:0.25@1.0"``.
+    #: Also a campaign axis (``"faults": ["", "crash:3@0.5,rejoin:3@2.0"]``).
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.world_size < 1:
@@ -90,6 +110,13 @@ class ClusterSpec:
                 )
             if any(f <= 0 for f in self.straggler_factors):
                 raise ValueError("straggler factors must be positive")
+        if self.faults == "":
+            # The empty campaign-axis value: identical to "no faults", so the
+            # two spell the same fingerprint.
+            self.faults = None
+        self.faults = FaultPlan.coerce(self.faults)
+        if self.faults is not None:
+            self.faults.validate_for_world(self.world_size)
 
     # ------------------------------------------------------------------ #
     def bandwidth_bytes_per_second(self) -> float:
@@ -121,6 +148,29 @@ class ClusterSpec:
         if self.hierarchical:
             return self.topology().cost_model()
         return self.network_model()
+
+    def cost_model_for(
+        self, world_size: Optional[int] = None, bandwidth_factor: float = 1.0
+    ) -> CostModel:
+        """Cost model for a (possibly degraded) view of this cluster.
+
+        ``world_size`` restricts to the surviving membership size and
+        ``bandwidth_factor`` scales the bottleneck (a fault plan's
+        time-varying link factor).  The defaults reproduce
+        :meth:`cost_model` exactly — a 1.0 factor preserves the bandwidth
+        bits — so faultless callers can route through this unconditionally.
+        """
+        n = self.world_size if world_size is None else world_size
+        bandwidth = self.bandwidth_bytes_per_second() * bandwidth_factor
+        if self.hierarchical:
+            return build_paper_topology(
+                wan_bandwidth=bandwidth, wan_latency=self.latency, num_servers=n
+            ).cost_model()
+        return NetworkModel.from_bandwidth(n, bandwidth, latency=self.latency)
+
+    def fault_plan(self) -> FaultPlan:
+        """The cluster's fault plan (the shared inert plan when unset)."""
+        return self.faults if self.faults is not None else EMPTY_FAULT_PLAN
 
     def process_group(self) -> ProcessGroup:
         """Process group whose collectives are costed by this cluster's network."""
@@ -210,6 +260,7 @@ class ClusterSpec:
             ),
             "overlap": self.overlap,
             "hierarchical": self.hierarchical,
+            "faults": None if self.faults is None else self.faults.to_dict(),
         }
 
     @classmethod

@@ -282,6 +282,19 @@ class ExperimentResult:
     critical_path_time: float = 0.0
     #: Simulated seconds the fastest worker spent idle waiting for stragglers.
     straggler_time: float = 0.0
+    #: Fault/recovery accounting (all zero on a healthy cluster).  Fault
+    #: events interpreted during the run (crashes, re-joins, link changes):
+    fault_events: int = 0
+    #: Iterations that ran over a shrunken (degraded) membership.
+    degraded_iterations: int = 0
+    #: Rank-seconds of capacity lost to dead ranks.
+    downtime_rank_seconds: float = 0.0
+    #: Simulated seconds spent re-synchronising re-joined ranks (included in
+    #: ``simulated_time``).
+    rejoin_cost_time: float = 0.0
+    #: Fraction of the cluster's rank-seconds spent training rather than lost
+    #: to downtime or re-join synchronisation (1.0 when healthy).
+    goodput_fraction: float = 1.0
     extra: Dict[str, float] = field(default_factory=dict)
 
     def tta_or_total(self) -> float:
@@ -486,6 +499,19 @@ def train_distributed(
         for rank in range(world_size)
     ]
 
+    # Fault interpretation state.  An empty plan keeps ``faulty`` False and
+    # every fault branch below is skipped, so the run takes exactly the
+    # historical code path (golden traces stay bit-identical).
+    plan = cluster.fault_plan()
+    faulty = not plan.is_empty
+    fault_cursor = -1.0
+    current_active = list(range(world_size))
+    current_link = 1.0
+    global_iteration = 0
+    # Re-join cost model: the returning rank pulls the current parameters
+    # (fp32 wire format) via a broadcast over the post-join membership.
+    model_wire_bytes = float(sum(p.size for p in model.parameters()) * 4)
+
     reached_target = False
     for epoch in range(epochs):
         for loader in rank_loaders:
@@ -501,8 +527,70 @@ def train_distributed(
             except StopIteration:
                 break
 
+            active_set = None
+            churn = None
+            if faulty:
+                # Interpret the fault plan at the current simulated time:
+                # events scheduled up to "now" have fired, so this iteration
+                # runs over the surviving membership with the current link.
+                now = timeline.total_time
+                fired = plan.events_between(fault_cursor, now)
+                fault_cursor = now
+                active = plan.active_ranks(world_size, now)
+                link = plan.link_factor(now)
+                if fired:
+                    timeline.fault_events += len(fired)
+                    if TRACER.enabled:
+                        from repro.obs.tracer import SIM_SCHEDULE_TID  # noqa: PLC0415
+
+                        for event in fired:
+                            TRACER.instant(
+                                f"fault/{event.kind}", cat="fault", clock="sim",
+                                ts=event.at, tid=SIM_SCHEDULE_TID,
+                                rank=event.rank, factor=event.factor,
+                            )
+                if active != current_active or link != current_link:
+                    if active != current_active:
+                        compressor.resize_world(
+                            current_active, active, plan.residual_policy
+                        )
+                    if len(active) == world_size and link == 1.0:
+                        ddp.set_active_ranks(None)
+                    else:
+                        from repro.comm.process_group import ProcessGroup  # noqa: PLC0415
+
+                        degraded_model = cluster.cost_model_for(len(active), link)
+                        ddp.set_active_ranks(
+                            active, ProcessGroup(len(active), degraded_model)
+                        )
+                    # A re-joining rank pulls the current model state before
+                    # it can participate: charge one broadcast over the new
+                    # membership per re-join and advance the simulated clock.
+                    for event in fired:
+                        if event.kind != "rejoin" or event.rank not in active:
+                            continue
+                        cost = cluster.cost_model_for(len(active), link).broadcast_time(
+                            model_wire_bytes
+                        )
+                        timeline.add_rejoin_cost(cost)
+                        if TRACER.enabled:
+                            from repro.obs.tracer import SIM_SCHEDULE_TID  # noqa: PLC0415
+
+                            TRACER.sim_span(
+                                "fault/rejoin-sync", "fault", ts=now, dur=cost,
+                                tid=SIM_SCHEDULE_TID, rank=event.rank,
+                                bytes=model_wire_bytes,
+                            )
+                    current_active, current_link = active, link
+                active_set = set(current_active)
+                churn = plan.churn_multipliers(world_size, global_iteration)
+
             with TRACER.span("train/backward", cat="train", epoch=epoch, iteration=iteration):
-                if execution == "batched" and DistributedDataParallel._stackable(batches):
+                if (
+                    execution == "batched"
+                    and not ddp.is_degraded
+                    and DistributedDataParallel._stackable(batches)
+                ):
                     images = np.stack([batch[0] for batch in batches])
                     labels = np.stack([np.asarray(batch[1]) for batch in batches])
                     per_rank_losses, grads = ddp.compute_batched_gradients(
@@ -517,6 +605,11 @@ def train_distributed(
                 else:
                     per_rank_losses = []
                     for rank, batch in enumerate(batches):
+                        if active_set is not None and rank not in active_set:
+                            # Dead rank: its shard's batch is consumed (data
+                            # order stays deterministic) but contributes no
+                            # gradient, loss or compute this iteration.
+                            continue
                         # copy=False is safe because each rank's gradients are
                         # staged into the arena before the next rank's backward
                         # pass runs (GSE, when active, reads them in the same
@@ -549,13 +642,34 @@ def train_distributed(
             per_bucket_seconds = [
                 float(sum(e.time_seconds for e in per_bucket)) for per_bucket in bucket_events
             ]
+            iteration_compute = per_rank_compute
+            if faulty:
+                # Survivors only, each scaled by this iteration's churn draw
+                # (counter-based, so the draw depends only on the iteration
+                # index — never on how the run got here).
+                iteration_compute = [
+                    per_rank_compute[rank] * churn[rank] for rank in current_active
+                ]
             trace = engine.run_iteration(
-                per_rank_compute,
+                iteration_compute,
                 bucket_fractions,
                 per_bucket_seconds,
             )
             sim_base = timeline.total_time
             timeline.add_iteration(trace.compute_span, comm_seconds, comm_bytes, trace=trace)
+            if faulty:
+                timeline.note_degraded_iteration(
+                    world_size - len(current_active), trace.wall_time
+                )
+                if TRACER.enabled and len(current_active) < world_size:
+                    from repro.obs.tracer import SIM_SCHEDULE_TID  # noqa: PLC0415
+
+                    TRACER.sim_span(
+                        "fault/degraded-world", "fault", ts=sim_base,
+                        dur=trace.wall_time, tid=SIM_SCHEDULE_TID,
+                        alive=len(current_active),
+                        dead=world_size - len(current_active),
+                    )
             if TRACER.enabled:
                 # Simulated-clock tracks: per-rank backward segments, the
                 # link channel's per-bucket reduce windows, the iteration
@@ -568,6 +682,7 @@ def train_distributed(
                 )
                 TRACER.sim_now = timeline.total_time
             ddp.hook_state.iteration += 1
+            global_iteration += 1
             epoch_losses.append(float(np.mean(per_rank_losses)))
             iteration += 1
 
@@ -681,6 +796,11 @@ def _run_experiment(config: ExperimentConfig, method: MethodSpec) -> ExperimentR
         overlap_fraction=timeline.overlap_fraction,
         critical_path_time=timeline.critical_path_time(),
         straggler_time=timeline.straggler_time,
+        fault_events=timeline.fault_events,
+        degraded_iterations=timeline.degraded_iterations,
+        downtime_rank_seconds=timeline.downtime_rank_seconds,
+        rejoin_cost_time=timeline.rejoin_cost_time,
+        goodput_fraction=timeline.goodput_fraction(config.cluster.world_size),
         extra=extra,
     )
 

@@ -54,11 +54,43 @@ class TrainingTimeline:
         self.iterations = 0
         self.epochs: List[EpochRecord] = []
         self.traces: List[IterationTrace] = []
+        # Fault/recovery accounting (all 0.0 on a healthy cluster, in which
+        # case total_time reduces bit-identically to the pre-fault model).
+        #: Simulated seconds spent re-synchronising re-joining ranks (state
+        #: broadcast); part of :attr:`total_time`.
+        self.rejoin_cost_time = 0.0
+        #: Rank-seconds of capacity lost to dead ranks (sum over iterations
+        #: of dead-rank count x iteration wall time).
+        self.downtime_rank_seconds = 0.0
+        #: Iterations that ran over a shrunken membership.
+        self.degraded_iterations = 0
+        #: Fault events interpreted so far (crashes, re-joins, link changes).
+        self.fault_events = 0
 
     # ------------------------------------------------------------------ #
     @property
     def total_time(self) -> float:
-        return self.compute_time + self.comm_time - self.overlap_saved
+        return self.compute_time + self.comm_time - self.overlap_saved + self.rejoin_cost_time
+
+    def goodput_fraction(self, world_size: int) -> float:
+        """Productive capacity fraction: 1 minus downtime and re-join overhead.
+
+        ``1.0`` on a healthy run; under faults, the fraction of the cluster's
+        rank-seconds that went into training rather than being lost to dead
+        ranks or re-join synchronisation.
+        """
+        total = self.total_time
+        if total <= 0.0 or world_size <= 0:
+            return 1.0
+        capacity = total * world_size
+        lost = self.downtime_rank_seconds + self.rejoin_cost_time * world_size
+        return max(0.0, 1.0 - lost / capacity)
+
+    def add_rejoin_cost(self, seconds: float) -> None:
+        """Charge the simulated cost of re-integrating a re-joined rank."""
+        if seconds < 0:
+            raise ValueError("rejoin cost must be non-negative")
+        self.rejoin_cost_time += seconds
 
     @property
     def overlap_fraction(self) -> float:
@@ -92,6 +124,12 @@ class TrainingTimeline:
             self.straggler_time += trace.straggler_slack
             self.traces.append(trace)
         self.iterations += 1
+
+    def note_degraded_iteration(self, dead_ranks: int, wall_seconds: float) -> None:
+        """Account one iteration that ran with ``dead_ranks`` workers down."""
+        if dead_ranks > 0:
+            self.degraded_iterations += 1
+            self.downtime_rank_seconds += dead_ranks * wall_seconds
 
     def snapshot_epoch(self, epoch: int, train_loss: float, test_accuracy: float) -> EpochRecord:
         record = EpochRecord(

@@ -429,11 +429,14 @@ class TestResultStore:
         # Both appends remain in the history file.
         assert len((path).read_text().strip().splitlines()) == 2
 
-    def test_corrupt_store_raises_with_line_number(self, tmp_path):
+    def test_corrupt_store_warns_and_quarantines(self, tmp_path):
         path = tmp_path / "store.jsonl"
         path.write_text("not json\n")
-        with pytest.raises(ValueError, match="line 1"):
-            ResultStore(path)
+        with pytest.warns(RuntimeWarning, match="line 1"):
+            store = ResultStore(path)
+        assert len(store) == 0
+        # The bad line is preserved for forensics next to the store.
+        assert (tmp_path / "store.jsonl.corrupt").read_text() == "not json\n"
 
     def test_filters_pivot_and_relative_baseline(self):
         store = ResultStore()
@@ -487,11 +490,23 @@ class TestResultStore:
         assert final.get(config, method) == fake_result()
         assert final.get(tiny_config(seed=1), method).tta == 2.0
 
-    def test_corrupt_interior_line_still_raises(self, tmp_path):
+    def test_corrupt_interior_line_is_skipped_not_fatal(self, tmp_path):
         path = tmp_path / "store.jsonl"
-        path.write_text("garbage\n" + "more\n")
-        with pytest.raises(ValueError, match="line 1"):
-            ResultStore(path)
+        store = ResultStore(path)
+        config, method = tiny_config(), PAPER_METHODS["all-reduce"]
+        store.put(config, method, fake_result())
+        # Sabotage the middle of the history, then append another good record.
+        lines = path.read_text().splitlines()
+        path.write_text(lines[0] + "\ngarbage\n")
+        with pytest.warns(RuntimeWarning, match="line 2"):
+            reopened = ResultStore(path)
+        assert reopened.get(config, method) == fake_result()
+        reopened.put(tiny_config(seed=1), method, fake_result(tta=2.0))
+        with pytest.warns(RuntimeWarning):
+            final = ResultStore(path)
+        assert final.get(config, method) == fake_result()
+        assert final.get(tiny_config(seed=1), method).tta == 2.0
+        assert "garbage" in (tmp_path / "store.jsonl.corrupt").read_text()
 
     def test_pivot_skips_records_without_the_metric(self):
         store = ResultStore()
