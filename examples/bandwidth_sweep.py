@@ -24,20 +24,23 @@ from repro.simulation import PAPER_METHODS
 BANDWIDTHS = ("100Mbps", "500Mbps", "1Gbps")
 
 
-def sweep_campaign(model: str = "resnet18") -> CampaignSpec:
+def sweep_campaign(model: str = "resnet18", regime: str = None) -> CampaignSpec:
+    base = {
+        "model": model,
+        "dataset": "cifar10",
+        "world_size": 8,
+        "epochs": 4,
+        "batch_size": 16,
+        "dataset_samples": 256,
+        "max_iterations_per_epoch": 4,
+        "target_accuracy": 0.7,
+        "seed": 0,
+    }
+    if regime is not None:
+        base["sync_schedule"] = regime
     return CampaignSpec(
         name="bandwidth-sweep",
-        base={
-            "model": model,
-            "dataset": "cifar10",
-            "world_size": 8,
-            "epochs": 4,
-            "batch_size": 16,
-            "dataset_samples": 256,
-            "max_iterations_per_epoch": 4,
-            "target_accuracy": 0.7,
-            "seed": 0,
-        },
+        base=base,
         axes={
             "bandwidth": list(BANDWIDTHS),
             "method": list(PAPER_METHODS),
@@ -45,10 +48,12 @@ def sweep_campaign(model: str = "resnet18") -> CampaignSpec:
     )
 
 
-def run_sweep(model: str = "resnet18", store_path: str = None, jobs: int = 1) -> None:
+def run_sweep(
+    model: str = "resnet18", store_path: str = None, jobs: int = 1, regime: str = None
+) -> None:
     print(f"Workload: {model} on synthetic CIFAR-10, 8 workers, target accuracy 0.7\n")
     store = ResultStore(store_path) if store_path else None
-    report = run_campaign(sweep_campaign(model), store=store, jobs=jobs)
+    report = run_campaign(sweep_campaign(model, regime), store=store, jobs=jobs)
     report.raise_failures()
     print(report.summary() + "\n")
 
@@ -58,15 +63,18 @@ def run_sweep(model: str = "resnet18", store_path: str = None, jobs: int = 1) ->
 
     for bandwidth, mbps in zip(BANDWIDTHS, sorted(by_bandwidth)):
         results = by_bandwidth[mbps]
-        ttas = {result.method: result.tta_or_total() for result in results}
+        # Regime overrides suffix the stored method name with "@schedule";
+        # strip it so the speedup baseline stays "all-reduce" either way.
+        ttas = {result.method.partition("@")[0]: result.tta_or_total() for result in results}
         speedups = speedup_table(ttas, baseline="all-reduce")
         print(f"--- bottleneck bandwidth: {bandwidth} ---")
         print(f"{'method':<12} {'final acc':>9} {'TTA (s)':>9} {'comm (s)':>9} {'speedup':>8}")
         for result in results:
+            method = result.method.partition("@")[0]
             print(
-                f"{result.method:<12} {result.final_accuracy:>9.3f} "
+                f"{method:<12} {result.final_accuracy:>9.3f} "
                 f"{result.tta_or_total():>9.3f} {result.comm_time:>9.3f} "
-                f"{speedups[result.method]:>7.2f}x"
+                f"{speedups[method]:>7.2f}x"
             )
         print()
 
@@ -76,5 +84,8 @@ if __name__ == "__main__":
     parser.add_argument("--model", default="resnet18")
     parser.add_argument("--store", default=None, help="optional result store (enables caching)")
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument("--regime", default=None, metavar="SPEC",
+                        help="training regime for every cell, e.g. 'localsgd:4' "
+                             "or 'localsgd:4:delta' (default: synchronous)")
     args = parser.parse_args()
-    run_sweep(args.model, store_path=args.store, jobs=args.jobs)
+    run_sweep(args.model, store_path=args.store, jobs=args.jobs, regime=args.regime)

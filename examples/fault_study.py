@@ -52,8 +52,18 @@ def make_config(faults: str | None) -> ExperimentConfig:
     )
 
 
-def run_study(method_name: str = "topk-0.1", trace_path: str | None = None) -> None:
+def run_study(
+    method_name: str = "topk-0.1",
+    trace_path: str | None = None,
+    regime: str | None = None,
+) -> None:
+    import dataclasses  # noqa: PLC0415
+
     method = PAPER_METHODS[method_name]
+    if regime is not None:
+        # Local SGD composes with fault plans (the async parameter server
+        # does not — it models a different failure domain and rejects them).
+        method = dataclasses.replace(method, sync_schedule=regime)
     print(
         f"Workload: mlp on synthetic CIFAR-10, {WORLD_SIZE} workers @ 100 Mbps, "
         f"method {method_name} (error feedback on, residuals resized on "
@@ -108,5 +118,8 @@ if __name__ == "__main__":
     parser.add_argument("--method", default="topk-0.1", choices=sorted(PAPER_METHODS))
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write an observability trace of the faulted run")
+    parser.add_argument("--regime", default=None, metavar="SPEC",
+                        help="training regime, e.g. 'localsgd:4:delta' "
+                             "(default: synchronous; 'ps' rejects fault plans)")
     args = parser.parse_args()
-    run_study(args.method, args.trace)
+    run_study(args.method, args.trace, regime=args.regime)

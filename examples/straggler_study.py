@@ -8,10 +8,17 @@ and reports how the simulated time, the time lost to waiting on the straggler
 and the hidden-communication fraction change.  A final run shows the
 equivalent mixed-device cluster (`devices=[...]`) instead of a multiplier.
 
-Run with:  python examples/straggler_study.py
+Run with:  python examples/straggler_study.py [--regime localsgd:4]
+
+With ``--regime localsgd:H`` the same clusters train under local SGD — a
+straggler then only gates progress at the averaging rounds, so the waiting
+time shrinks with H.
 """
 
 from __future__ import annotations
+
+import argparse
+import dataclasses
 
 from repro.simulation import (
     ClusterSpec,
@@ -42,11 +49,14 @@ def make_config(cluster: ClusterSpec) -> ExperimentConfig:
     )
 
 
-def run_study(method_name: str = "all-reduce") -> None:
+def run_study(method_name: str = "all-reduce", regime: str = None) -> None:
     method = PAPER_METHODS[method_name]
+    if regime is not None:
+        method = dataclasses.replace(method, sync_schedule=regime)
+    regime_note = f", regime {regime}" if regime else ""
     print(
         f"Workload: resnet18 on synthetic CIFAR-10, {WORLD_SIZE} workers @ 100 Mbps, "
-        f"method {method_name}, overlap on\n"
+        f"method {method_name}{regime_note}, overlap on\n"
     )
     print(f"{'cluster':<22} {'sim time (s)':>12} {'straggler wait (s)':>18} {'comm hidden':>11}")
 
@@ -79,4 +89,9 @@ def run_study(method_name: str = "all-reduce") -> None:
 
 
 if __name__ == "__main__":
-    run_study()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--method", default="all-reduce", choices=sorted(PAPER_METHODS))
+    parser.add_argument("--regime", default=None, metavar="SPEC",
+                        help="training regime, e.g. 'localsgd:4' (default: synchronous)")
+    args = parser.parse_args()
+    run_study(args.method, regime=args.regime)

@@ -153,6 +153,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         overrides["max_iterations_per_epoch"] = args.max_iterations_per_epoch
     if args.dataset_samples is not None:
         overrides["dataset_samples"] = args.dataset_samples
+    if args.regime is not None:
+        overrides["sync_schedule"] = args.regime
     overrides.update(_parse_axis_pairs(args.set, "--set"))
 
     cell = build_cell(overrides)
@@ -427,7 +429,11 @@ def cmd_golden(args: argparse.Namespace) -> int:
             if not args.quiet:
                 print(f"wrote {path}  ({name})", flush=True)
 
-        golden.regenerate(args.dir, progress=progress)
+        try:
+            golden.regenerate(args.dir, progress=progress, only=args.only)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
         return 0
 
     # --trace doubles as the instrumentation no-drift gate: verification
@@ -503,6 +509,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-iterations-per-epoch", type=int, default=None,
                      dest="max_iterations_per_epoch")
     run.add_argument("--dataset-samples", type=int, default=None, dest="dataset_samples")
+    run.add_argument("--regime", default=None, metavar="SPEC",
+                     help="training regime / sync schedule: 'sync' (default), "
+                          "'localsgd:H' (H local steps per averaging round), "
+                          "'localsgd:H:delta' (compressed model-delta sync), or "
+                          "'ps:S' (async parameter server, staleness bound S)")
     run.add_argument("--set", action="append", metavar="AXIS=VALUE",
                      help="extra axis override (repeatable), e.g. --set overlap=true")
     run.add_argument("--store", default=None, help="optional result store to cache into")
@@ -605,8 +616,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="relative tolerance for verification "
                              "(default 0.0 = bit-identical)")
     golden.add_argument("--only", nargs="+", default=None, metavar="METHOD",
-                        help="verify only these golden methods "
-                             "(default: all of them)")
+                        help="verify (or with --update, rewrite) only these "
+                             "golden methods (default: all of them)")
     golden.add_argument("--trace", metavar="PATH", default=None,
                         help="record an observability trace of the verification "
                              "runs (tracing must not change the numbers)")

@@ -157,6 +157,18 @@ def build_cell(
             renamed = f"ef+{renamed}"
         elif ef_override is False and not renamed.endswith("-noef"):
             renamed = f"{renamed}-noef"
+        # A sync-schedule axis changes the training regime, not just a knob:
+        # suffix non-synchronous arms so sync and async cells of the same
+        # method stay distinguishable in method-keyed reports.  The schedule
+        # is validated here (fail at expansion, not mid-campaign).
+        schedule_override = method_overrides.get("sync_schedule")
+        if schedule_override is not None:
+            from repro.simulation.regimes import parse_sync_schedule  # noqa: PLC0415
+
+            parsed = parse_sync_schedule(schedule_override)
+            suffix = f"@{parsed.spec()}"
+            if not parsed.is_synchronous and not renamed.endswith(suffix):
+                renamed = f"{renamed}{suffix}"
         method = dataclasses.replace(method, name=renamed, **method_overrides)
     return CampaignCell(config=config, method=method)
 

@@ -22,7 +22,7 @@ import inspect
 from typing import Callable, Dict, Optional
 
 from repro.compression.base import CodecCompressor, Compressor
-from repro.compression.codec import parse_compressor_spec
+from repro.compression.codec import Identity, Pipeline, parse_compressor_spec
 from repro.compression.dgc import DGCCompressor
 from repro.compression.fp16 import FP16Compressor
 from repro.compression.none import NoCompression
@@ -46,6 +46,17 @@ COMPRESSOR_REGISTRY: Dict[str, CompressorFactory] = {
     "terngrad": TernGradCompressor,
     "dgc": DGCCompressor,
     "dgc-0.01": lambda seed=None, **kw: DGCCompressor(ratio=0.01, **kw),
+    # Explicit identity codec (same object the spec parser would build from
+    # the bare "none" token).  Registered by name so the training-regime
+    # parity tests — localsgd:1:delta with a lossless codec must reproduce
+    # the synchronous path bit-identically — read as a first-class method
+    # rather than a spec-grammar fallthrough.
+    "none": lambda seed=None, **kw: CodecCompressor(
+        Pipeline([Identity()]), name="none", **kw
+    ),
+    "identity": lambda seed=None, **kw: CodecCompressor(
+        Pipeline([Identity()]), name="identity", **kw
+    ),
 }
 
 

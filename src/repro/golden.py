@@ -85,14 +85,22 @@ GOLDEN_CONV_CONFIG = ExperimentConfig(
 )
 
 #: The frozen methods: the paper's five plus one composed codec spec (which
-#: exercises sparse + ternary payload composition through the gather path)
-#: and the convolutional cell above.
+#: exercises sparse + ternary payload composition through the gather path),
+#: the convolutional cell above, and the two non-synchronous training regimes
+#: (compressed-delta local SGD and the stale-gradient parameter server) so
+#: regime numerics are pinned exactly like synchronous ones.
 GOLDEN_METHODS: Dict[str, MethodSpec] = {
     **PAPER_METHODS,
     "topk0.01+terngrad": MethodSpec(
         name="topk0.01+terngrad", compressor="topk0.01+terngrad"
     ),
     "conv-all-reduce": MethodSpec(name="conv-all-reduce", compressor="allreduce"),
+    "localsgd-h4": MethodSpec(
+        name="localsgd-h4", compressor="topk-0.01", sync_schedule="localsgd:4:delta"
+    ),
+    "async-ps": MethodSpec(
+        name="async-ps", compressor="topk-0.01", sync_schedule="ps:2"
+    ),
 }
 
 #: Per-method config overrides; anything absent runs under GOLDEN_CONFIG.
@@ -268,10 +276,26 @@ def write_fixture(trace: Dict, directory: Optional[str] = None) -> str:
     return path
 
 
-def regenerate(directory: Optional[str] = None, progress=None) -> List[str]:
-    """Recompute and rewrite every golden fixture; returns the written paths."""
+def regenerate(
+    directory: Optional[str] = None,
+    progress=None,
+    only: Optional[List[str]] = None,
+) -> List[str]:
+    """Recompute and rewrite golden fixtures; returns the written paths.
+
+    ``only`` restricts the rewrite to the named methods — the tool for adding
+    a *new* golden cell without touching the other committed fixtures (whose
+    serialised bytes would otherwise churn when a spec gains a defaulted
+    field; ``_canonical_spec`` keeps old fixtures comparable unregenerated).
+    """
+    if only is not None:
+        unknown = sorted(set(only) - set(GOLDEN_METHODS))
+        if unknown:
+            raise KeyError(f"unknown golden methods: {', '.join(unknown)}")
     paths = []
     for name, method in GOLDEN_METHODS.items():
+        if only is not None and name not in only:
+            continue
         trace = compute_trace(method)
         paths.append(write_fixture(trace, directory))
         if progress is not None:

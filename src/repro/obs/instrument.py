@@ -36,6 +36,7 @@ __all__ = [
     "install_backend_observer",
     "uninstall_backend_observer",
     "emit_simulated_iteration",
+    "emit_ps_update",
     "backend_kernel_counters",
 ]
 
@@ -200,6 +201,51 @@ def emit_simulated_iteration(
         comm_busy=trace.comm_busy, overlap_saved=trace.overlap_saved,
         straggler_slack=trace.straggler_slack,
     )
+
+
+def emit_ps_update(
+    tracer,
+    *,
+    rank: int,
+    pull,
+    compute_seconds: float,
+    push,
+    staleness: int,
+    update_index: int,
+    payload_bytes: float,
+    pull_bytes: float,
+) -> None:
+    """Emit sim-clock spans for one async parameter-server update.
+
+    One worker's update is three intervals on the simulated clock — the
+    parameter pull ``(start, end)``, the local backward pass, and the
+    gradient push ``(start, end)`` — drawn on the worker's own rank track,
+    plus an apply instant (carrying the measured staleness) on the schedule
+    track at the moment the push landed.  The staleness also feeds the
+    ``regime.staleness`` metrics histogram, so ``trace metrics`` summarises
+    the staleness distribution without replaying the event log.
+    """
+    pull_start, pull_end = pull
+    push_start, push_end = push
+    tracer.sim_span(
+        "regime/pull", "regime", pull_start, pull_end - pull_start, rank,
+        rank=rank, update=update_index, bytes=pull_bytes,
+    )
+    tracer.sim_span(
+        "regime/compute", "regime", pull_end, compute_seconds, rank,
+        rank=rank, update=update_index,
+    )
+    tracer.sim_span(
+        "regime/push", "regime", push_start, push_end - push_start, rank,
+        rank=rank, update=update_index, bytes=payload_bytes,
+        queue_delay=push_start - (pull_end + compute_seconds),
+    )
+    tracer.instant(
+        "regime/apply", cat="regime", clock="sim",
+        ts=push_end, tid=SIM_SCHEDULE_TID,
+        rank=rank, update=update_index, staleness=staleness,
+    )
+    tracer.metrics.observe("regime.staleness", float(staleness))
 
 
 # --------------------------------------------------------------------------- #

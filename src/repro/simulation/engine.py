@@ -167,6 +167,15 @@ class SimulationEngine:
     def __init__(self, overlap: bool = True) -> None:
         self.overlap = overlap
 
+    def run_local_iteration(self, per_rank_compute: Sequence[float]) -> IterationTrace:
+        """Schedule one communication-free iteration (local-SGD inner step).
+
+        Zero buckets is a valid schedule — the wall time is just the slowest
+        rank's backward pass — so local steps flow through the same trace
+        bookkeeping (straggler slack, per-rank clocks) as synchronised ones.
+        """
+        return self.run_iteration(per_rank_compute, [], [])
+
     def run_iteration(
         self,
         per_rank_compute: Sequence[float],

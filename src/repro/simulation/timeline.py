@@ -66,11 +66,34 @@ class TrainingTimeline:
         self.degraded_iterations = 0
         #: Fault events interpreted so far (crashes, re-joins, link changes).
         self.fault_events = 0
+        # Regime accounting (all zero on the synchronous path, in which case
+        # total_time reduces bit-identically to the pre-regime model).
+        #: Averaging collectives run by the local-SGD regime.
+        self.sync_rounds = 0
+        #: Local (communication-free) optimiser steps taken between collectives.
+        self.local_steps = 0
+        #: Parameter-server updates applied by the async regime.
+        self.ps_updates = 0
+        #: Sum / max of per-update staleness (server updates applied between a
+        #: worker's parameter pull and its gradient's application).
+        self.staleness_sum = 0.0
+        self.staleness_max = 0
+        #: Async idle time: simulated seconds the event clock advanced beyond
+        #: the busy compute+comm accumulators (blocked-on-staleness waits and
+        #: channel queueing in parameter-server mode); part of
+        #: :attr:`total_time`.
+        self.async_wait_time = 0.0
 
     # ------------------------------------------------------------------ #
     @property
     def total_time(self) -> float:
-        return self.compute_time + self.comm_time - self.overlap_saved + self.rejoin_cost_time
+        return (
+            self.compute_time
+            + self.comm_time
+            - self.overlap_saved
+            + self.rejoin_cost_time
+            + self.async_wait_time
+        )
 
     def goodput_fraction(self, world_size: int) -> float:
         """Productive capacity fraction: 1 minus downtime and re-join overhead.
@@ -124,6 +147,48 @@ class TrainingTimeline:
             self.straggler_time += trace.straggler_slack
             self.traces.append(trace)
         self.iterations += 1
+
+    def add_sync_round(self, comm_seconds: float, comm_bytes: float = 0.0) -> None:
+        """Charge one averaging collective that is not tied to an iteration.
+
+        Local SGD flushes a partially filled window at the epoch boundary so
+        evaluation sees the averaged model; that collective costs time and
+        bytes but does not advance the iteration count.
+        """
+        if comm_seconds < 0 or comm_bytes < 0:
+            raise ValueError("sync round cost must be non-negative")
+        self.comm_time += comm_seconds
+        self.comm_bytes_per_worker += comm_bytes
+        self.sync_rounds += 1
+
+    def record_staleness(self, staleness: int) -> None:
+        """Record one parameter-server update's measured staleness."""
+        if staleness < 0:
+            raise ValueError("staleness must be non-negative")
+        self.ps_updates += 1
+        self.staleness_sum += staleness
+        if staleness > self.staleness_max:
+            self.staleness_max = staleness
+
+    @property
+    def mean_staleness(self) -> float:
+        return self.staleness_sum / self.ps_updates if self.ps_updates else 0.0
+
+    def reconcile_async_total(self, final_time: float) -> None:
+        """Pin :attr:`total_time` to the async event clock.
+
+        The parameter-server loop accumulates per-update compute and comm
+        busy time, but the run's end-to-end duration is the event clock —
+        overlapping updates make it shorter than the busy sum, staleness
+        blocking makes it longer.  The difference lands in
+        :attr:`overlap_saved` or :attr:`async_wait_time` so the standard
+        decomposition still adds up.
+        """
+        if final_time < 0:
+            raise ValueError("final time must be non-negative")
+        busy = self.compute_time + self.comm_time + self.rejoin_cost_time
+        self.overlap_saved = max(0.0, busy - final_time)
+        self.async_wait_time = max(0.0, final_time - busy)
 
     def note_degraded_iteration(self, dead_ranks: int, wall_seconds: float) -> None:
         """Account one iteration that ran with ``dead_ranks`` workers down."""
